@@ -1,0 +1,39 @@
+# symfail — reproduction of "How Do Mobile Phones Fail?" (DSN 2007).
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench repro repro-quick montecarlo cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The whole paper: sections 4-6, every table and figure (~10 s).
+repro:
+	$(GO) run ./cmd/symfail -extras
+
+repro-quick:
+	$(GO) run ./cmd/symfail -quick
+
+# Seed-noise quantification: replicate the study, report CIs per metric.
+montecarlo:
+	$(GO) run ./cmd/montecarlo -runs 20 -phones 10 -months 6
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command analyze re-runs the paper's analysis pipeline over a previously
+// exported dataset (cmd/symfail -export <dir>), without re-simulating:
+// collect once, analyse many times — with different thresholds, windows,
+// or output formats.
+//
+// Usage:
+//
+//	analyze -data <dir> [-threshold 360s] [-window 5m] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"symfail/internal/analysis"
+	"symfail/internal/collect"
+	"symfail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the machine-readable output of -json.
+type summary struct {
+	Devices        int                `json:"devices"`
+	ObservedHours  float64            `json:"observedHours"`
+	Freezes        int                `json:"freezes"`
+	SelfShutdowns  int                `json:"selfShutdowns"`
+	MTBFrHours     float64            `json:"mtbfrHours"`
+	MTBSHours      float64            `json:"mtbsHours"`
+	Panics         int                `json:"panics"`
+	RelatedPercent float64            `json:"relatedPercent"`
+	PanicsInBursts float64            `json:"panicsInBurstsPercent"`
+	PanicShares    map[string]float64 `json:"panicShares"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	var (
+		dataDir   = fs.String("data", "", "directory with an exported dataset (required)")
+		threshold = fs.Duration("threshold", 360*time.Second, "self-shutdown threshold")
+		window    = fs.Duration("window", 5*time.Minute, "panic/HL coalescence window")
+		asJSON    = fs.Bool("json", false, "emit a machine-readable summary instead of the tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := collect.ImportDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	study := analysis.New(ds.AllRecords(), analysis.Options{
+		SelfShutdownThreshold: *threshold,
+		CoalescenceWindow:     *window,
+	})
+
+	if *asJSON {
+		rep := study.MTBF()
+		sum := summary{
+			Devices:        len(study.Devices()),
+			ObservedHours:  rep.ObservedHours,
+			Freezes:        rep.Freezes,
+			SelfShutdowns:  rep.SelfShutdowns,
+			MTBFrHours:     rep.MTBFrHours,
+			MTBSHours:      rep.MTBSHours,
+			Panics:         len(study.Panics()),
+			RelatedPercent: study.Coalesce().RelatedPercent,
+			PanicsInBursts: 100 * study.Bursts().PanicsInBursts,
+			PanicShares:    make(map[string]float64),
+		}
+		for _, row := range study.PanicTable() {
+			sum.PanicShares[row.Key] = row.Percent
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+
+	fmt.Printf("dataset: %d devices from %s\n\n", len(study.Devices()), *dataDir)
+	fmt.Println(report.Figure2(study))
+	fmt.Println(report.MTBF(study))
+	fmt.Println(report.Table2(study))
+	fmt.Println(report.Figure3(study))
+	fmt.Println(report.Figure5(study))
+	fmt.Println(report.Table3(study))
+	fmt.Println(report.Figure6(study))
+	fmt.Println(report.Table4(study))
+	fmt.Println(report.Extras(study))
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command fleetsim simulates an instrumented phone fleet and dumps the raw
+// study data: ground truth versus logger view, per device. It is the tool
+// for inspecting the simulator itself rather than the paper's tables.
+//
+// Usage:
+//
+//	fleetsim [-seed N] [-phones N] [-months N] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"symfail"
+	"symfail/internal/analysis"
+	"symfail/internal/core"
+	"symfail/internal/phone"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 1, "random seed")
+		phones  = fs.Int("phones", 5, "number of phones")
+		months  = fs.Int("months", 3, "months simulated")
+		verbose = fs.Bool("v", false, "print every logged record")
+		dump    = fs.String("dump", "", "write ground truth + logger records as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := symfail.FieldStudyConfig{
+		Seed:       *seed,
+		Phones:     *phones,
+		Duration:   time.Duration(*months) * phone.StudyMonth,
+		JoinWindow: phone.StudyMonth / 2,
+	}
+	study, err := symfail.RunFieldStudy(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %8s %7s %7s %7s %7s %8s %8s\n",
+		"device", "hours", "boots", "freeze", "self", "panics", "log-frz", "log-shut")
+	for i, d := range study.Fleet.Devices {
+		o := d.Oracle()
+		recs := study.Loggers[i].Records()
+		var logFreeze, logShut, logPanic int
+		for _, r := range recs {
+			switch {
+			case r.Kind == core.KindPanic:
+				logPanic++
+			case r.Detected == core.DetectedFreeze:
+				logFreeze++
+			case r.Detected == core.DetectedShutdown:
+				logShut++
+			}
+		}
+		fmt.Printf("%-10s %8.0f %7d %7d %7d %7d %8d %8d\n",
+			d.ID(), o.ObservedHours, o.Count(phone.TruthBoot),
+			o.Count(phone.TruthFreeze), o.Count(phone.TruthSelfShutdown),
+			o.PanicCount(), logFreeze, logShut)
+		if *verbose {
+			for _, r := range recs {
+				if r.Kind == core.KindPanic {
+					fmt.Printf("    %s panic %s apps=%v activity=%s\n",
+						r.When(), r.PanicKey(), r.Apps, r.Activity)
+				} else {
+					fmt.Printf("    %s boot#%d detected=%s off=%.0fs\n",
+						r.When(), r.Boot, r.Detected, r.OffSeconds)
+				}
+			}
+		}
+	}
+
+	rep := study.Study.MTBF()
+	fmt.Printf("\nlogger view: %d freezes (MTBFr %.0f h), %d self-shutdowns (MTBS %.0f h)\n",
+		rep.Freezes, rep.MTBFrHours, rep.SelfShutdowns, rep.MTBSHours)
+	fmt.Printf("coalescence: %.1f%% of panics relate to HL events\n",
+		study.Study.Coalesce().RelatedPercent)
+	_ = analysis.DefaultOptions()
+
+	if *dump != "" {
+		if err := dumpJSON(*dump, study); err != nil {
+			return err
+		}
+		fmt.Printf("trace dumped to %s\n", *dump)
+	}
+	return nil
+}
+
+// deviceDump is the per-device JSON trace: the simulator's ground truth
+// side by side with what the logger recorded.
+type deviceDump struct {
+	Device        string             `json:"device"`
+	OSVersion     string             `json:"osVersion"`
+	Persona       string             `json:"persona"`
+	ObservedHours float64            `json:"observedHours"`
+	Truth         []phone.TruthEvent `json:"truth"`
+	TruthPanics   []phone.TruthPanic `json:"truthPanics"`
+	Records       []core.Record      `json:"records"`
+}
+
+func dumpJSON(path string, study *symfail.FieldStudy) error {
+	dumps := make([]deviceDump, 0, len(study.Fleet.Devices))
+	for i, d := range study.Fleet.Devices {
+		dumps = append(dumps, deviceDump{
+			Device:        d.ID(),
+			OSVersion:     d.OSVersion(),
+			Persona:       string(d.Config().Persona),
+			ObservedHours: d.Oracle().ObservedHours,
+			Truth:         d.Oracle().Events,
+			TruthPanics:   d.Oracle().Panics,
+			Records:       study.Loggers[i].Records(),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(dumps)
+}

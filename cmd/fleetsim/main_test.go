@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	_ = w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestFleetsimRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-seed", "2", "-phones", "3", "-months", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "phone-0") < 3 {
+		t.Errorf("missing per-device rows:\n%s", out)
+	}
+	if !strings.Contains(out, "logger view:") || !strings.Contains(out, "coalescence:") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestFleetsimVerbose(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-seed", "2", "-phones", "1", "-months", "1", "-v"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "boot#1 detected=first-boot") {
+		t.Errorf("verbose record dump missing:\n%s", out)
+	}
+}
+
+func TestFleetsimDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-seed", "4", "-phones", "2", "-months", "1", "-dump", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []deviceDump
+	if err := json.Unmarshal(blob, &dumps); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(dumps) != 2 {
+		t.Fatalf("devices = %d", len(dumps))
+	}
+	for _, d := range dumps {
+		if d.Device == "" || d.OSVersion == "" || d.ObservedHours <= 0 {
+			t.Errorf("incomplete dump: %+v", d)
+		}
+		if len(d.Truth) == 0 || len(d.Records) == 0 {
+			t.Errorf("%s: empty truth/records", d.Device)
+		}
+	}
+}

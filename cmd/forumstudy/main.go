@@ -1,0 +1,60 @@
+// Command forumstudy runs the section 4 web-forum pipeline: generate the
+// synthetic corpus, filter and classify the posts, and print Table 1, the
+// section 4.1 marginals, and the classifier's accuracy against the
+// generator's ground truth.
+//
+// Usage:
+//
+//	forumstudy [-seed N] [-reports N] [-noise N] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symfail/internal/forum"
+	"symfail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "forumstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("forumstudy", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 2007, "random seed")
+		reports = fs.Int("reports", 533, "failure reports in the corpus")
+		noise   = fs.Int("noise", 3500, "non-failure posts in the corpus")
+		samples = fs.Int("samples", 3, "example posts to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	posts := forum.Generate(forum.GeneratorConfig{
+		Seed: *seed, FailureReports: *reports, NoisePosts: *noise,
+	})
+	rep := forum.Analyze(posts)
+
+	fmt.Println(report.Table1(rep))
+	fmt.Println(report.Section41(rep))
+	fmt.Printf("classifier accuracy vs generator ground truth: %.1f%%\n\n",
+		100*forum.ClassificationAccuracy(posts))
+
+	printed := 0
+	for _, p := range posts {
+		if !p.IsFailure || printed >= *samples {
+			continue
+		}
+		c := forum.Classify(p)
+		fmt.Printf("example report #%d (%s, %s %s):\n  %q\n  -> type=%s recovery=%s severity=%s\n",
+			p.ID, p.Forum, p.Vendor, p.Model, p.Text, c.Type, c.Recovery, c.Severity)
+		printed++
+	}
+	return nil
+}

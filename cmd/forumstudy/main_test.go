@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	_ = w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestForumStudyRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-seed", "3", "-reports", "200", "-noise", "100", "-samples", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 1", "classifier accuracy", "example report"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Count(out, "example report") != 2 {
+		t.Errorf("sample count wrong:\n%s", out)
+	}
+}
+
+func TestForumStudyBadFlag(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-nope"}) }); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	_ = w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestMonteCarloSmallRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-runs", "3", "-phones", "3", "-months", "2", "-parallel", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 replicas", "mtbfr_hours", "ci95-lo", "paper reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMonteCarloRejectsBadRuns(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-runs", "0"}) }); err == nil {
+		t.Error("runs=0 accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Command symfail runs the full reproduction: the web-forum preliminary
+// study (section 4) and the 25-phone, 14-month instrumented field study
+// (sections 5-6), printing every table and figure of the paper.
+//
+// Usage:
+//
+//	symfail [-seed N] [-phones N] [-months N] [-tcp] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"symfail"
+	"symfail/internal/collect"
+	"symfail/internal/phone"
+	"symfail/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symfail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symfail", flag.ContinueOnError)
+	var (
+		seed   = fs.Uint64("seed", 2007, "random seed for the whole study")
+		phones = fs.Int("phones", 25, "number of instrumented phones")
+		months = fs.Int("months", 14, "observation window in months")
+		useTCP = fs.Bool("tcp", false, "collect logs over a local TCP collection server")
+		quick  = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
+		extras = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
+		export = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := symfail.DefaultFieldStudyConfig(*seed)
+	cfg.Phones = *phones
+	cfg.Duration = time.Duration(*months) * phone.StudyMonth
+	if *quick {
+		cfg.Phones = 8
+		cfg.Duration = 4 * phone.StudyMonth
+		cfg.JoinWindow = phone.StudyMonth
+	}
+	cfg.WithUserReporter = *extras
+
+	fmt.Println("=== Section 4: high-level failure characterisation (web forums) ===")
+	fmt.Println()
+	forumRep := symfail.RunForumStudy(*seed)
+	fmt.Println(report.Table1(forumRep))
+	fmt.Println(report.Section41(forumRep))
+
+	fmt.Printf("=== Sections 5-6: field study (%d phones, %d months, seed %d) ===\n\n",
+		cfg.Phones, int(cfg.Duration/phone.StudyMonth), *seed)
+	start := time.Now()
+	var study *symfail.FieldStudy
+	var err error
+	if *useTCP {
+		var srv interface{ Close() error }
+		study, srv, err = symfail.RunFieldStudyWithCollector(cfg)
+		if err == nil {
+			defer srv.Close()
+		}
+	} else {
+		study, err = symfail.RunFieldStudy(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %.0f phone-hours in %v wall-clock\n\n",
+		study.Fleet.ObservedHours(), time.Since(start).Round(time.Millisecond))
+
+	s := study.Study
+	fmt.Println(report.Figure2(s))
+	fmt.Println(report.MTBF(s))
+	fmt.Println(report.Table2(s))
+	fmt.Println(report.Figure3(s))
+	fmt.Println(report.Figure4Sweep(s, []time.Duration{
+		30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
+		15 * time.Minute, time.Hour, 4 * time.Hour,
+	}))
+	fmt.Println(report.Figure5(s))
+	fmt.Println(report.Table3(s))
+	fmt.Println(report.Figure6(s))
+	fmt.Println(report.Table4(s))
+
+	if *export != "" {
+		if err := collect.ExportDir(study.Dataset, *export); err != nil {
+			return err
+		}
+		fmt.Printf("dataset exported to %s (analyze with: go run ./cmd/analyze -data %s)\n\n", *export, *export)
+	}
+	if *extras {
+		val := symfail.ValidateDetection(study)
+		fmt.Println("Validation against the simulator oracle (unavailable to the original study):")
+		fmt.Printf("  freeze recall %.3f, self-shutdown identification ratio %.3f, panic capture %.3f\n",
+			val.FreezeRecall, val.SelfShutdownRatio, val.PanicCaptureRate)
+		fmt.Printf("  (%d never-serviced phones compared)\n\n", val.PhonesCompared)
+		fmt.Println(report.Extras(s))
+		fmt.Println(report.Predictor(s))
+		fmt.Println(report.ExpFit(s))
+		fmt.Println(report.SeasonalityChart(s))
+		fmt.Println(report.VersionTable(s, study.Dataset.AllRecords()))
+		truthOutput := 0
+		for _, d := range study.Fleet.Devices {
+			truthOutput += d.Oracle().Count(phone.TruthOutputFailure)
+		}
+		fmt.Println(report.UserReportSummary(study.Dataset.AllRecords(), truthOutput))
+	}
+	return nil
+}

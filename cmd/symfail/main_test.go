@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	_ = w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestRunQuickPrintsEveryArtefact(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-quick", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "Section 4.1", "Figure 2", "Section 6",
+		"Table 2", "Figure 3", "Figure 4", "Figure 5",
+		"Table 3", "Figure 6", "Table 4",
+		"MTBFr", "KERN-EXEC 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExtras(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-quick", "-seed", "5", "-extras"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Extras — analyses beyond the paper") {
+		t.Error("extras section missing")
+	}
+	if !strings.Contains(out, "user-reported output failures") {
+		t.Error("user-report section missing")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-definitely-not-a-flag"})
+	})
+	if err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package symfail
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"symfail/internal/analysis"
+	"symfail/internal/phone"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden determinism fingerprint")
+
+// fingerprint is a compact cross-process determinism witness: if any code
+// path lets Go's per-process map iteration order (or any other ambient
+// nondeterminism) leak into the simulation, this drifts between processes
+// even though same-process double runs agree.
+type fingerprint struct {
+	Panics        int     `json:"panics"`
+	Freezes       int     `json:"freezes"`
+	SelfShutdowns int     `json:"selfShutdowns"`
+	Boots         int     `json:"boots"`
+	ObservedHours float64 `json:"observedHours"`
+	FirstPanicKey string  `json:"firstPanicKey"`
+	FirstPanicAt  int64   `json:"firstPanicAt"`
+	LogBytes      int     `json:"logBytes"`
+}
+
+func computeFingerprint(t *testing.T) fingerprint {
+	t.Helper()
+	fs, err := RunFieldStudy(FieldStudyConfig{
+		Seed:       424242,
+		Phones:     6,
+		Duration:   3 * phone.StudyMonth,
+		JoinWindow: phone.StudyMonth / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fs.Study.MTBF()
+	fp := fingerprint{
+		Panics:        len(fs.Study.Panics()),
+		Freezes:       rep.Freezes,
+		SelfShutdowns: rep.SelfShutdowns,
+		ObservedHours: rep.ObservedHours,
+	}
+	for _, d := range fs.Fleet.Devices {
+		fp.Boots += d.BootCount()
+	}
+	if ps := fs.Study.Panics(); len(ps) > 0 {
+		fp.FirstPanicKey = ps[0].Key()
+		fp.FirstPanicAt = int64(ps[0].Time)
+	}
+	for _, l := range fs.Loggers {
+		fp.LogBytes += len(l.LogBytes())
+	}
+	return fp
+}
+
+func TestGoldenDeterminismFingerprint(t *testing.T) {
+	path := filepath.Join("testdata", "golden_fingerprint.json")
+	got := computeFingerprint(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %+v", got)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden fingerprint (run `go test -run Golden -update .`): %v", err)
+	}
+	var want fingerprint
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fingerprint drifted.\n got: %+v\nwant: %+v\n"+
+			"If the simulation changed intentionally, refresh with `go test -run Golden -update .`;"+
+			" otherwise nondeterminism (e.g. map iteration) leaked into the model.", got, want)
+	}
+	_ = analysis.DefaultOptions()
+}

@@ -1,0 +1,92 @@
+package symfail_test
+
+import (
+	"fmt"
+	"time"
+
+	"symfail"
+	"symfail/internal/core"
+	"symfail/internal/forum"
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+	"symfail/internal/symbos"
+)
+
+// ExampleRunFieldStudy runs a small deterministic deployment and prints
+// stable facts about it.
+func ExampleRunFieldStudy() {
+	study, err := symfail.RunFieldStudy(symfail.FieldStudyConfig{
+		Seed:       1,
+		Phones:     3,
+		Duration:   30 * 24 * time.Hour,
+		JoinWindow: 0,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("phones:", len(study.Fleet.Devices))
+	fmt.Println("logs collected:", len(study.Dataset.Devices()))
+	// Output:
+	// phones: 3
+	// logs collected: 3
+}
+
+// ExampleInstall shows the single-device quickstart: instrument, simulate,
+// read the Log File.
+func ExampleInstall() {
+	eng := sim.NewEngine()
+	cfg := phone.DefaultConfig(7)
+	cfg.PanicOpportunityPerHour = 0
+	cfg.SpontaneousFreezePerHour = 0
+	cfg.SpontaneousShutdownPerHour = 0
+	cfg.NightOffProb = 0
+	cfg.DayOffPerHour = 0
+	dev := phone.NewDevice("demo", eng, cfg)
+	logger := core.Install(dev, core.Config{})
+	dev.Enroll(sim.Epoch)
+	if err := eng.Run(sim.Epoch.Add(24 * time.Hour)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	recs := logger.Records()
+	fmt.Println("first record:", recs[0].Kind, recs[0].Detected)
+	// Output:
+	// first record: boot first-boot
+}
+
+// ExampleClassify labels one of the paper's verbatim forum reports.
+func ExampleClassify() {
+	c := forum.Classify(forum.Post{
+		Text: "the phone freezes whenever I try to write a text message, and stays frozen until I take the battery out",
+	})
+	fmt.Println(c.Type, "/", c.Recovery, "/", c.Severity)
+	// Output:
+	// freeze / battery-removal / medium
+}
+
+// ExampleMeaning looks up the Symbian documentation excerpt for the
+// dominant panic of Table 2.
+func ExampleMeaning() {
+	m := symbos.Meaning(symbos.CatKernExec, symbos.TypeUnhandledException)
+	fmt.Println(m[:24])
+	// Output:
+	// an unhandled exception o
+}
+
+// ExampleParseRecords parses a Log File fragment, skipping a torn line.
+func ExampleParseRecords() {
+	log := []byte(`{"kind":"boot","time":0,"boot":1,"detected":"first-boot"}
+{"kind":"panic","time":5,"category":"USER","ptype":11}
+{"kind":"boot","ti`) // torn by power loss
+	for _, r := range core.ParseRecords(log) {
+		if r.Kind == core.KindPanic {
+			fmt.Println(r.PanicKey())
+		} else {
+			fmt.Println(r.Kind, r.Detected)
+		}
+	}
+	// Output:
+	// boot first-boot
+	// USER 11
+}

@@ -1,0 +1,83 @@
+// Prediction: turn the paper's Figure 5 insight — system panics usually
+// precede freezes and self-shutdowns — into an online early-warning policy,
+// and score it against the collected study data. Also demonstrates the
+// collect-once / analyse-many workflow via dataset export.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"symfail"
+	"symfail/internal/analysis"
+	"symfail/internal/collect"
+	"symfail/internal/phone"
+)
+
+func main() {
+	// Simulate a medium deployment.
+	study, err := symfail.RunFieldStudy(symfail.FieldStudyConfig{
+		Seed:       2007,
+		Phones:     12,
+		Duration:   8 * phone.StudyMonth,
+		JoinWindow: phone.StudyMonth,
+	})
+	if err != nil {
+		fmt.Println("study:", err)
+		return
+	}
+
+	// Export the dataset so it can be re-analysed offline (cmd/analyze).
+	dir := filepath.Join(os.TempDir(), "symfail-prediction-demo")
+	if err := collect.ExportDir(study.Dataset, dir); err != nil {
+		fmt.Println("export:", err)
+		return
+	}
+	ds, err := collect.ImportDir(dir)
+	if err != nil {
+		fmt.Println("import:", err)
+		return
+	}
+	s := analysis.New(ds.AllRecords(), analysis.Options{})
+
+	fmt.Printf("dataset: %d phones, %d panics, %d high-level failures (exported to %s)\n\n",
+		len(s.Devices()), len(s.Panics()),
+		len(s.HLEvents(analysis.HLFreeze, analysis.HLSelfShutdown)), dir)
+
+	// Policy 1: alarm on every panic.
+	// Policy 2: alarm only on the failure-coupled system categories.
+	// Policy 3: alarm only on the UI/application categories (a bad idea,
+	// per Figure 5b — those panics never escalate).
+	policies := []struct {
+		name string
+		cats []string
+	}{
+		{"every panic", nil},
+		{"system panics", analysis.DefaultPredictorConfig().AlarmCategories},
+		{"app panics only", []string{"EIKON-LISTBOX", "EIKCOCTL", "MMFAudioClient"}},
+	}
+	fmt.Println("policy comparison (10-minute horizon):")
+	for _, p := range policies {
+		rep := s.EvaluatePredictor(analysis.PredictorConfig{
+			AlarmCategories: p.cats,
+			Horizon:         10 * time.Minute,
+			LeadSlack:       5 * time.Minute, // tolerate freeze-timestamp skew
+		})
+		fmt.Printf("  %-16s alarms %-4d precision %.2f  recall %.2f  median warning %3.0f s\n",
+			p.name, rep.Alarms, rep.Precision, rep.Recall, rep.MedianWarningSeconds)
+	}
+
+	fmt.Println("\nhorizon sweep for the system-panic policy:")
+	horizons := []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour}
+	for i, rep := range s.PredictorSweep(analysis.DefaultPredictorConfig().AlarmCategories, horizons) {
+		fmt.Printf("  %-8v precision %.2f  recall %.2f\n", horizons[i], rep.Precision, rep.Recall)
+	}
+
+	fit := s.InterFailureExpFit()
+	fmt.Printf("\ninter-failure times: n=%d mean=%.0f h, KS D=%.3f (crit %.3f) -> exponential %v\n",
+		fit.N, fit.MeanHours, fit.KS, fit.KSCritical05, fit.PassesKS)
+	fmt.Println("\nthe takeaway matches the paper: panics explain a real but minority share of")
+	fmt.Println("user-perceived failures, so panic-only prediction has bounded recall.")
+}

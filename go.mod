@@ -1,0 +1,3 @@
+module symfail
+
+go 1.24

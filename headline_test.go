@@ -1,0 +1,118 @@
+package symfail
+
+import (
+	"testing"
+
+	"symfail/internal/analysis"
+)
+
+// TestHeadlineReproduction runs the full paper-scale study (25 phones,
+// 14 months) and asserts the shape claims of EXPERIMENTS.md. It is the
+// repository's reason to exist, stated as a test. Skipped under -short.
+func TestHeadlineReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale study (~10 s); skipped with -short")
+	}
+	fs, err := RunFieldStudy(DefaultFieldStudyConfig(2007))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fs.Study
+
+	rep := s.MTBF()
+	t.Logf("MTBFr=%.0f h MTBS=%.0f h failure-every=%.1f d panics=%d",
+		rep.MTBFrHours, rep.MTBSHours, rep.FailureEveryDays, len(s.Panics()))
+
+	// Section 6: failure rates in the paper's band.
+	if rep.MTBFrHours < 230 || rep.MTBFrHours > 420 {
+		t.Errorf("MTBFr = %.0f h, want near the paper's 313 h", rep.MTBFrHours)
+	}
+	if rep.MTBSHours < 180 || rep.MTBSHours > 330 {
+		t.Errorf("MTBS = %.0f h, want near the paper's 250 h", rep.MTBSHours)
+	}
+	if rep.MTBSHours >= rep.MTBFrHours {
+		t.Error("self-shutdowns should be more frequent than freezes")
+	}
+	if rep.FailureEveryDays < 8 || rep.FailureEveryDays > 16 {
+		t.Errorf("failure every %.1f days, paper says ~11", rep.FailureEveryDays)
+	}
+
+	// Table 2: memory access violations dominate; heap management second.
+	rows := s.PanicTable()
+	if rows[0].Key != "KERN-EXEC 3" || rows[0].Percent < 45 || rows[0].Percent > 65 {
+		t.Errorf("top panic = %s at %.1f%%, want KERN-EXEC 3 near 56%%", rows[0].Key, rows[0].Percent)
+	}
+	if share := s.CategoryShare("E32USER-CBase"); share < 12 || share > 27 {
+		t.Errorf("E32USER-CBase share = %.1f%%, want ~18%%", share)
+	}
+
+	// Figure 2: bimodal reboot durations, clean 360 s separation.
+	durs := s.RebootDurations()
+	selfShare := 100 * float64(rep.SelfShutdowns) / float64(len(durs))
+	if selfShare < 17 || selfShare > 32 {
+		t.Errorf("self-shutdown share of shutdowns = %.1f%%, paper: 24.2%%", selfShare)
+	}
+	zoom := s.RebootHistogram(0, 500, 20)
+	if m := zoom.ModeBin(); m >= 0 {
+		_, lo, hi := zoom.Bin(m)
+		if lo < 25 || hi > 150 {
+			t.Errorf("zoom mode bin [%v, %v), want around 80 s", lo, hi)
+		}
+	}
+
+	// Figure 3: a visible minority of panics arrive in cascades.
+	if bursts := 100 * s.Bursts().PanicsInBursts; bursts < 14 || bursts > 38 {
+		t.Errorf("panics in bursts = %.1f%%, paper: ~25%%", bursts)
+	}
+
+	// Figure 5: about half the panics relate to HL events, and user
+	// shutdowns barely move the number.
+	co := s.Coalesce()
+	if co.RelatedPercent < 38 || co.RelatedPercent > 66 {
+		t.Errorf("related panics = %.1f%%, paper: 51%%", co.RelatedPercent)
+	}
+	if all := s.RelatedPercentWithAllShutdowns(); all-co.RelatedPercent > 10 {
+		t.Errorf("all-shutdown check moved the relation by %.1f points, paper: ~4", all-co.RelatedPercent)
+	}
+
+	// Table 3 constraints: USER and ViewSrv only in calls; Phone.app only
+	// in messaging (primaries can be asserted through the logger data by
+	// checking the activity tags of those categories).
+	for _, p := range s.Panics() {
+		switch p.Category {
+		case "ViewSrv":
+			if p.Activity == "message" {
+				t.Errorf("ViewSrv panic tagged message (call-only class)")
+			}
+		case "Phone.app":
+			if p.Activity == "voice-call" {
+				t.Errorf("Phone.app panic tagged voice-call (message-only class)")
+			}
+		}
+	}
+
+	// Figure 6: concurrency does not drive panics — the mode is 0 or 1.
+	hist := s.RunningAppsHistogram(8)
+	mode, best := -1, 0
+	for n, c := range hist {
+		if c > best {
+			mode, best = n, c
+		}
+	}
+	if mode > 1 {
+		t.Errorf("running-apps mode = %d, paper observes mostly one", mode)
+	}
+
+	// Table 4: Messages is among the top applications at panic time.
+	tops := s.TopPanicApps(4)
+	foundMessages := false
+	for _, a := range tops {
+		if a.App == "Messages" {
+			foundMessages = true
+		}
+	}
+	if !foundMessages {
+		t.Errorf("Messages missing from top panic apps: %+v", tops)
+	}
+	_ = analysis.DefaultOptions()
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"symfail/internal/core"
+)
+
+// This file holds analyses beyond the paper's tables and figures: detection
+// quality metrics the original study could not compute (it had no oracle)
+// and dispersion statistics across phones.
+
+// FreezeDowntime summarises how long frozen phones stayed down: from the
+// last heartbeat before the freeze to the post-battery-pull boot. This is
+// the user-visible outage of a freeze plus the logger's detection lag (one
+// heartbeat period at most).
+type FreezeDowntime struct {
+	Count         int
+	MedianSeconds float64
+	P90Seconds    float64
+	MaxSeconds    float64
+	MeanSeconds   float64
+}
+
+// FreezeDowntimes computes the freeze outage distribution.
+func (s *Study) FreezeDowntimes() FreezeDowntime {
+	var xs []float64
+	for _, hl := range s.HLEvents(HLFreeze) {
+		xs = append(xs, hl.OffSeconds)
+	}
+	out := FreezeDowntime{Count: len(xs)}
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	out.MedianSeconds = xs[len(xs)/2]
+	out.P90Seconds = xs[quantileIndex(len(xs), 0.9)]
+	out.MaxSeconds = xs[len(xs)-1]
+	out.MeanSeconds = sum / float64(len(xs))
+	return out
+}
+
+// LeadTime is the distribution of the delay from a panic to the high-level
+// event it relates to: how much warning a panic gives before the phone
+// freezes or reboots. Negative values mean the panic was recorded after
+// the event timestamp (possible for freezes, whose time is the last
+// heartbeat).
+type LeadTime struct {
+	Count         int
+	MedianSeconds float64
+	P90Seconds    float64
+}
+
+// PanicLeadTimes computes the panic-to-failure warning distribution over
+// related panics.
+func (s *Study) PanicLeadTimes() LeadTime {
+	var xs []float64
+	for _, p := range s.Panics() {
+		if p.Related == nil {
+			continue
+		}
+		xs = append(xs, p.Related.Time.Sub(p.Time).Seconds())
+	}
+	out := LeadTime{Count: len(xs)}
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Float64s(xs)
+	out.MedianSeconds = xs[len(xs)/2]
+	out.P90Seconds = xs[quantileIndex(len(xs), 0.9)]
+	return out
+}
+
+// quantileIndex returns the (ceiling) index of the q-quantile in a sorted
+// slice of length n, so small samples round toward the pessimistic tail.
+func quantileIndex(n int, q float64) int {
+	idx := int(math.Ceil(q * float64(n-1)))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
+}
+
+// DeviceMTBF is one phone's failure-rate summary.
+type DeviceMTBF struct {
+	Device        string
+	Hours         float64
+	Freezes       int
+	SelfShutdowns int
+	MTBFHours     float64 // combined, 0 when no failures
+}
+
+// PerDeviceMTBF returns each phone's own MTBF — the paper reports only the
+// averaged figure; the dispersion shows how uneven individual phones are.
+func (s *Study) PerDeviceMTBF() []DeviceMTBF {
+	out := make([]DeviceMTBF, 0, len(s.deviceIDs))
+	for _, id := range s.deviceIDs {
+		d := DeviceMTBF{Device: id, Hours: s.uptime[id]}
+		for _, hl := range s.hlByDevice[id] {
+			switch hl.Kind {
+			case HLFreeze:
+				d.Freezes++
+			case HLSelfShutdown:
+				d.SelfShutdowns++
+			}
+		}
+		if n := d.Freezes + d.SelfShutdowns; n > 0 {
+			d.MTBFHours = d.Hours / float64(n)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// MTBFDispersion returns the coefficient of variation of per-device
+// failure rates (failures per hour), ignoring devices with no uptime.
+func (s *Study) MTBFDispersion() float64 {
+	var rates []float64
+	for _, d := range s.PerDeviceMTBF() {
+		if d.Hours <= 0 {
+			continue
+		}
+		rates = append(rates, float64(d.Freezes+d.SelfShutdowns)/d.Hours)
+	}
+	if len(rates) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	mean := sum / float64(len(rates))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, r := range rates {
+		ss += (r - mean) * (r - mean)
+	}
+	return math.Sqrt(ss/float64(len(rates))) / mean
+}
+
+// UserReportStats summarises the user-reported output failures collected
+// by the core.UserReporter extension (the paper's future work).
+type UserReportStats struct {
+	Reports int
+	// MedianReportDelay is the lag between a failure and its report.
+	MedianReportDelay time.Duration
+	// ByDetail counts reports per failure manifestation.
+	ByDetail map[string]int
+	// ByActivity counts reports per activity at failure time.
+	ByActivity map[string]int
+}
+
+// UserReports extracts and summarises user-report records from a dataset.
+func UserReports(dataset map[string][]core.Record) UserReportStats {
+	st := UserReportStats{
+		ByDetail:   make(map[string]int),
+		ByActivity: make(map[string]int),
+	}
+	var delays []float64
+	ids := make([]string, 0, len(dataset))
+	for id := range dataset {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, r := range dataset[id] {
+			if r.Kind != core.KindUserReport {
+				continue
+			}
+			st.Reports++
+			st.ByDetail[string(r.Detected)]++
+			act := r.Activity
+			if act == "" {
+				act = "unspecified"
+			}
+			st.ByActivity[act]++
+			delays = append(delays, float64(r.Time-r.PrevTime)/float64(time.Second))
+		}
+	}
+	if len(delays) > 0 {
+		sort.Float64s(delays)
+		st.MedianReportDelay = time.Duration(delays[len(delays)/2] * float64(time.Second))
+	}
+	return st
+}
+
+// VersionStats summarises one OS version's share of the study.
+type VersionStats struct {
+	Version       string
+	Devices       int
+	Hours         float64
+	Panics        int
+	Freezes       int
+	SelfShutdowns int
+}
+
+// VersionBreakdown groups the study per Symbian OS version (taken from the
+// devices' boot records). The paper describes the deployment mix — most
+// phones on 8.0 — without per-version results; this extra makes the
+// breakdown available.
+func (s *Study) VersionBreakdown(dataset map[string]string) []VersionStats {
+	byVersion := make(map[string]*VersionStats)
+	get := func(v string) *VersionStats {
+		if v == "" {
+			v = "unknown"
+		}
+		st, ok := byVersion[v]
+		if !ok {
+			st = &VersionStats{Version: v}
+			byVersion[v] = st
+		}
+		return st
+	}
+	for _, id := range s.deviceIDs {
+		st := get(dataset[id])
+		st.Devices++
+		st.Hours += s.uptime[id]
+		st.Panics += len(s.panicsByDevice[id])
+		for _, hl := range s.hlByDevice[id] {
+			switch hl.Kind {
+			case HLFreeze:
+				st.Freezes++
+			case HLSelfShutdown:
+				st.SelfShutdowns++
+			}
+		}
+	}
+	versions := make([]string, 0, len(byVersion))
+	for v := range byVersion {
+		versions = append(versions, v)
+	}
+	sort.Strings(versions)
+	out := make([]VersionStats, 0, len(versions))
+	for _, v := range versions {
+		out = append(out, *byVersion[v])
+	}
+	return out
+}
+
+// DeviceVersions extracts each device's OS version from its boot records.
+func DeviceVersions(dataset map[string][]core.Record) map[string]string {
+	out := make(map[string]string, len(dataset))
+	for id, recs := range dataset {
+		for _, r := range recs {
+			if r.Kind == core.KindBoot && r.OSVersion != "" {
+				out[id] = r.OSVersion
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Seasonality groups events by simulated hour of day and day of week — the
+// diurnal structure of failures (failures concentrate in waking hours
+// because usage does).
+type Seasonality struct {
+	// ByHour counts high-level failures per hour of day (0-23).
+	ByHour [24]int
+	// Weekday / Weekend are failure totals by day class (5-day / 2-day
+	// weeks), plus per-day rates for comparison.
+	Weekday, Weekend             int
+	WeekdayPerDay, WeekendPerDay float64
+}
+
+// FailureSeasonality computes the diurnal and weekly failure structure.
+func (s *Study) FailureSeasonality() Seasonality {
+	var out Seasonality
+	days := make(map[int]bool)
+	for _, hl := range s.HLEvents(HLFreeze, HLSelfShutdown) {
+		hour := int(hl.Time.TimeOfDay().Hours())
+		if hour < 0 {
+			hour = 0
+		}
+		if hour > 23 {
+			hour = 23
+		}
+		out.ByHour[hour]++
+		day := hl.Time.Day()
+		days[day] = true
+		if day%7 == 5 || day%7 == 6 {
+			out.Weekend++
+		} else {
+			out.Weekday++
+		}
+	}
+	// Rates use the span of observed days, split 5:2.
+	if len(days) > 0 {
+		minDay, maxDay := 1<<62, -1
+		for d := range days {
+			if d < minDay {
+				minDay = d
+			}
+			if d > maxDay {
+				maxDay = d
+			}
+		}
+		span := float64(maxDay - minDay + 1)
+		weekdays := span * 5 / 7
+		weekends := span * 2 / 7
+		if weekdays > 0 {
+			out.WeekdayPerDay = float64(out.Weekday) / weekdays
+		}
+		if weekends > 0 {
+			out.WeekendPerDay = float64(out.Weekend) / weekends
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+func TestFreezeDowntimes(t *testing.T) {
+	s := newSyntheticStudy(t)
+	fd := s.FreezeDowntimes()
+	if fd.Count != 1 {
+		t.Fatalf("count = %d", fd.Count)
+	}
+	// The synthetic freeze went down at 1h03m and rebooted at 1h30m: 27 min.
+	want := 27 * 60.0
+	if math.Abs(fd.MedianSeconds-want) > 1 {
+		t.Errorf("median = %v, want %v", fd.MedianSeconds, want)
+	}
+	if fd.MaxSeconds != fd.MedianSeconds || fd.P90Seconds != fd.MedianSeconds {
+		t.Errorf("single-sample stats inconsistent: %+v", fd)
+	}
+	if math.Abs(fd.MeanSeconds-want) > 1 {
+		t.Errorf("mean = %v", fd.MeanSeconds)
+	}
+}
+
+func TestFreezeDowntimesEmpty(t *testing.T) {
+	s := New(nil, Options{})
+	if fd := s.FreezeDowntimes(); fd.Count != 0 || fd.MedianSeconds != 0 {
+		t.Errorf("empty downtimes = %+v", fd)
+	}
+}
+
+func TestPanicLeadTimes(t *testing.T) {
+	s := newSyntheticStudy(t)
+	lt := s.PanicLeadTimes()
+	// Two related panics: at 1h and 1h02m, freeze at 1h03m → leads 180 s
+	// and 60 s.
+	if lt.Count != 2 {
+		t.Fatalf("count = %d", lt.Count)
+	}
+	if lt.MedianSeconds != 180 || lt.P90Seconds != 180 {
+		t.Errorf("lead times = %+v", lt)
+	}
+}
+
+func TestPerDeviceMTBFAndDispersion(t *testing.T) {
+	ds := syntheticDataset()
+	// A second, failure-free device with some uptime.
+	ds["p2"] = []core.Record{
+		{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot},
+		{Kind: core.KindBoot, Time: int64(sim.Epoch.Add(50 * time.Hour)), Boot: 2,
+			Detected: core.DetectedShutdown, PrevBeat: core.BeatReboot,
+			PrevTime:   int64(sim.Epoch.Add(40 * time.Hour)),
+			OffSeconds: (10 * time.Hour).Seconds()},
+	}
+	s := New(ds, Options{})
+	per := s.PerDeviceMTBF()
+	if len(per) != 2 {
+		t.Fatalf("devices = %d", len(per))
+	}
+	byID := map[string]DeviceMTBF{}
+	for _, d := range per {
+		byID[d.Device] = d
+	}
+	p1 := byID["p1"]
+	if p1.Freezes != 1 || p1.SelfShutdowns != 1 || p1.MTBFHours <= 0 {
+		t.Errorf("p1 = %+v", p1)
+	}
+	p2 := byID["p2"]
+	if p2.Freezes != 0 || p2.MTBFHours != 0 || p2.Hours <= 0 {
+		t.Errorf("p2 = %+v", p2)
+	}
+	if cv := s.MTBFDispersion(); cv <= 0 {
+		t.Errorf("dispersion = %v, want > 0 for uneven devices", cv)
+	}
+}
+
+func TestMTBFDispersionDegenerate(t *testing.T) {
+	if cv := New(nil, Options{}).MTBFDispersion(); cv != 0 {
+		t.Errorf("empty dispersion = %v", cv)
+	}
+	s := newSyntheticStudy(t) // single device
+	if cv := s.MTBFDispersion(); cv != 0 {
+		t.Errorf("single-device dispersion = %v", cv)
+	}
+}
+
+func TestUserReports(t *testing.T) {
+	ds := map[string][]core.Record{
+		"p1": {
+			{Kind: core.KindUserReport, Time: int64(sim.Epoch.Add(2 * time.Hour)),
+				PrevTime: int64(sim.Epoch.Add(time.Hour)),
+				Detected: "wrong ringtone played", Activity: "idle"},
+			{Kind: core.KindUserReport, Time: int64(sim.Epoch.Add(5 * time.Hour)),
+				PrevTime: int64(sim.Epoch.Add(4*time.Hour + 30*time.Minute)),
+				Detected: "inaccurate charge indicator"},
+			{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot},
+		},
+	}
+	st := UserReports(ds)
+	if st.Reports != 2 {
+		t.Fatalf("reports = %d", st.Reports)
+	}
+	if st.ByDetail["wrong ringtone played"] != 1 {
+		t.Errorf("ByDetail = %v", st.ByDetail)
+	}
+	if st.ByActivity["idle"] != 1 || st.ByActivity["unspecified"] != 1 {
+		t.Errorf("ByActivity = %v", st.ByActivity)
+	}
+	// Delays: 3600 s and 1800 s -> median element is 3600 s (index 1).
+	if st.MedianReportDelay != time.Hour {
+		t.Errorf("median delay = %v", st.MedianReportDelay)
+	}
+}
+
+func TestUserReportsEmpty(t *testing.T) {
+	st := UserReports(nil)
+	if st.Reports != 0 || st.MedianReportDelay != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestVersionBreakdown(t *testing.T) {
+	ds := syntheticDataset()
+	ds["p2"] = []core.Record{
+		{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot, OSVersion: "6.1"},
+		{Kind: core.KindBoot, Time: int64(sim.Epoch.Add(10 * time.Hour)), Boot: 2,
+			Detected: core.DetectedShutdown, PrevBeat: core.BeatReboot,
+			PrevTime: int64(sim.Epoch.Add(9 * time.Hour)), OffSeconds: 80},
+	}
+	// Tag p1's boots with 8.0.
+	for i := range ds["p1"] {
+		if ds["p1"][i].Kind == core.KindBoot {
+			ds["p1"][i].OSVersion = "8.0"
+		}
+	}
+	s := New(ds, Options{})
+	versions := DeviceVersions(ds)
+	if versions["p1"] != "8.0" || versions["p2"] != "6.1" {
+		t.Fatalf("versions = %v", versions)
+	}
+	rows := s.VersionBreakdown(versions)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	byV := map[string]VersionStats{}
+	for _, r := range rows {
+		byV[r.Version] = r
+	}
+	if byV["8.0"].Devices != 1 || byV["8.0"].Panics != 3 || byV["8.0"].Freezes != 1 {
+		t.Errorf("8.0 = %+v", byV["8.0"])
+	}
+	if byV["6.1"].SelfShutdowns != 1 || byV["6.1"].Hours <= 0 {
+		t.Errorf("6.1 = %+v", byV["6.1"])
+	}
+}
+
+func TestVersionBreakdownUnknown(t *testing.T) {
+	s := New(syntheticDataset(), Options{})
+	rows := s.VersionBreakdown(nil)
+	if len(rows) != 1 || rows[0].Version != "unknown" {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestFailureSeasonality(t *testing.T) {
+	// Failures at hour 10 on day 0 (weekday) and hour 22 on day 5
+	// (weekend).
+	recs := []core.Record{
+		{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot},
+		{Kind: core.KindBoot, Time: int64(sim.Epoch.Add(10*time.Hour + 90*time.Second)), Boot: 2,
+			Detected: core.DetectedShutdown, PrevBeat: core.BeatReboot,
+			PrevTime: int64(sim.Epoch.Add(10 * time.Hour)), OffSeconds: 90},
+		{Kind: core.KindBoot, Time: int64(sim.Epoch.Add(5*24*time.Hour + 22*time.Hour + 80*time.Second)), Boot: 3,
+			Detected: core.DetectedShutdown, PrevBeat: core.BeatReboot,
+			PrevTime: int64(sim.Epoch.Add(5*24*time.Hour + 22*time.Hour)), OffSeconds: 80},
+	}
+	s := New(map[string][]core.Record{"p": recs}, Options{})
+	sea := s.FailureSeasonality()
+	if sea.ByHour[10] != 1 || sea.ByHour[22] != 1 {
+		t.Errorf("ByHour = %v", sea.ByHour)
+	}
+	if sea.Weekday != 1 || sea.Weekend != 1 {
+		t.Errorf("weekday/weekend = %d/%d", sea.Weekday, sea.Weekend)
+	}
+	if sea.WeekdayPerDay <= 0 || sea.WeekendPerDay <= 0 {
+		t.Errorf("rates = %v/%v", sea.WeekdayPerDay, sea.WeekendPerDay)
+	}
+}
+
+func TestFailureSeasonalityEmpty(t *testing.T) {
+	sea := New(nil, Options{}).FailureSeasonality()
+	if sea.Weekday != 0 || sea.Weekend != 0 || sea.WeekdayPerDay != 0 {
+		t.Errorf("empty seasonality = %+v", sea)
+	}
+}

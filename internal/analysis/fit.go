@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"symfail/internal/sim"
+)
+
+// Statistical goodness-of-fit for the failure process. Reporting a single
+// MTBF (as section 6 does) implicitly treats failures as a Poisson
+// process; this analysis checks how exponential the inter-failure times
+// actually are, with a Kolmogorov-Smirnov test.
+
+// ExpFit is the result of fitting an exponential distribution to the
+// pooled inter-failure times.
+type ExpFit struct {
+	// N is the number of inter-failure intervals pooled across devices.
+	N int
+	// MeanHours is the MLE of the exponential mean.
+	MeanHours float64
+	// KS is the Kolmogorov-Smirnov statistic against Exp(1/MeanHours).
+	KS float64
+	// KSCritical05 is the 5% critical value (asymptotic, 1.36/sqrt(N)).
+	KSCritical05 float64
+	// PassesKS reports KS <= KSCritical05: the exponential hypothesis is
+	// not rejected at the 5% level.
+	PassesKS bool
+}
+
+// InterFailureTimesHours returns the wall-clock gaps between consecutive
+// high-level failures (freezes and self-shutdowns), per device, pooled.
+func (s *Study) InterFailureTimesHours() []float64 {
+	var out []float64
+	for _, id := range s.deviceIDs {
+		var prev *HLEvent
+		for _, hl := range s.hlByDevice[id] {
+			if hl.Kind != HLFreeze && hl.Kind != HLSelfShutdown {
+				continue
+			}
+			if prev != nil {
+				out = append(out, hl.Time.Sub(prev.Time).Hours())
+			}
+			prev = hl
+		}
+	}
+	return out
+}
+
+// InterFailureExpFit fits the exponential and runs the KS test.
+func (s *Study) InterFailureExpFit() ExpFit {
+	xs := s.InterFailureTimesHours()
+	fit := ExpFit{N: len(xs)}
+	if len(xs) == 0 {
+		return fit
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	fit.MeanHours = sum / float64(len(xs))
+	if fit.MeanHours <= 0 {
+		return fit
+	}
+	sort.Float64s(xs)
+	lambda := 1 / fit.MeanHours
+	n := float64(len(xs))
+	var d float64
+	for i, x := range xs {
+		f := 1 - math.Exp(-lambda*x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	fit.KS = d
+	fit.KSCritical05 = 1.36 / math.Sqrt(n)
+	fit.PassesKS = fit.KS <= fit.KSCritical05
+	return fit
+}
+
+// BootstrapCI resamples the pooled inter-failure times to attach a
+// confidence interval to the single-study MTBF estimate — the error bar
+// the paper's section 6 numbers lack. The RNG is seeded for
+// reproducibility.
+func (s *Study) BootstrapCI(resamples int, seed uint64) (loHours, hiHours float64) {
+	xs := s.InterFailureTimesHours()
+	if len(xs) < 2 || resamples < 10 {
+		return 0, 0
+	}
+	rng := sim.NewRand(seed)
+	means := make([]float64, 0, resamples)
+	for i := 0; i < resamples; i++ {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means = append(means, sum/float64(len(xs)))
+	}
+	sort.Float64s(means)
+	lo := means[quantileIndex(len(means), 0.025)]
+	hi := means[quantileIndex(len(means), 0.975)]
+	return lo, hi
+}

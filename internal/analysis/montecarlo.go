@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Monte-Carlo aggregation: the paper reports one deployment; the simulator
+// can rerun the whole study across independent seeds and attach sampling
+// distributions to every headline metric, which is how EXPERIMENTS.md
+// quantifies seed noise.
+
+// MetricSample aggregates one metric across replicated studies.
+type MetricSample struct {
+	Name   string
+	Values []float64
+}
+
+// Mean returns the sample mean.
+func (m MetricSample) Mean() float64 {
+	if len(m.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range m.Values {
+		sum += v
+	}
+	return sum / float64(len(m.Values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func (m MetricSample) StdDev() float64 {
+	n := len(m.Values)
+	if n < 2 {
+		return 0
+	}
+	mean := m.Mean()
+	var ss float64
+	for _, v := range m.Values {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the mean.
+func (m MetricSample) CI95() (lo, hi float64) {
+	n := len(m.Values)
+	if n == 0 {
+		return 0, 0
+	}
+	mean := m.Mean()
+	half := 1.96 * m.StdDev() / math.Sqrt(float64(n))
+	return mean - half, mean + half
+}
+
+// Quantile returns the q-quantile of the samples.
+func (m MetricSample) Quantile(q float64) float64 {
+	if len(m.Values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), m.Values...)
+	sort.Float64s(s)
+	return s[quantileIndex(len(s), q)]
+}
+
+// HeadlineMetrics extracts the reproduction's headline numbers from one
+// study, keyed by stable metric names.
+func HeadlineMetrics(s *Study) map[string]float64 {
+	rep := s.MTBF()
+	co := s.Coalesce()
+	bu := s.Bursts()
+	out := map[string]float64{
+		"mtbfr_hours":          rep.MTBFrHours,
+		"mtbs_hours":           rep.MTBSHours,
+		"failure_every_days":   rep.FailureEveryDays,
+		"related_pct":          co.RelatedPercent,
+		"bursts_pct":           100 * bu.PanicsInBursts,
+		"realtime_pct":         s.RealTimeActivityShare(),
+		"panics":               float64(co.TotalPanics),
+		"freezes":              float64(rep.Freezes),
+		"self_shutdowns":       float64(rep.SelfShutdowns),
+		"observed_hours":       rep.ObservedHours,
+		"selfshutdown_sharepc": 0,
+	}
+	if durs := s.RebootDurations(); len(durs) > 0 {
+		out["selfshutdown_sharepc"] = 100 * float64(rep.SelfShutdowns) / float64(len(durs))
+	}
+	if rows := s.PanicTable(); len(rows) > 0 && rows[0].Key == "KERN-EXEC 3" {
+		out["kernexec3_pct"] = rows[0].Percent
+	}
+	return out
+}
+
+// MetricNames is the stable presentation order of HeadlineMetrics keys.
+var MetricNames = []string{
+	"mtbfr_hours", "mtbs_hours", "failure_every_days",
+	"kernexec3_pct", "related_pct", "bursts_pct", "realtime_pct",
+	"selfshutdown_sharepc", "panics", "freezes", "self_shutdowns",
+	"observed_hours",
+}
+
+// Aggregate folds per-study metric maps into MetricSamples keyed by name.
+func Aggregate(runs []map[string]float64) map[string]MetricSample {
+	out := make(map[string]MetricSample)
+	for _, run := range runs {
+		for name, v := range run {
+			s := out[name]
+			s.Name = name
+			s.Values = append(s.Values, v)
+			out[name] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMetricSampleStats(t *testing.T) {
+	m := MetricSample{Name: "x", Values: []float64{1, 2, 3, 4, 5}}
+	if m.Mean() != 3 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	wantSD := math.Sqrt(2.5)
+	if math.Abs(m.StdDev()-wantSD) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", m.StdDev(), wantSD)
+	}
+	lo, hi := m.CI95()
+	if lo >= 3 || hi <= 3 || hi-lo <= 0 {
+		t.Errorf("CI95 = [%v, %v]", lo, hi)
+	}
+	if m.Quantile(0.5) != 3 {
+		t.Errorf("median = %v", m.Quantile(0.5))
+	}
+	if m.Quantile(1) != 5 || m.Quantile(0) != 1 {
+		t.Errorf("extremes = %v/%v", m.Quantile(0), m.Quantile(1))
+	}
+}
+
+func TestMetricSampleDegenerate(t *testing.T) {
+	var empty MetricSample
+	if empty.Mean() != 0 || empty.StdDev() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty sample stats nonzero")
+	}
+	lo, hi := empty.CI95()
+	if lo != 0 || hi != 0 {
+		t.Error("empty CI nonzero")
+	}
+	one := MetricSample{Values: []float64{7}}
+	if one.StdDev() != 0 {
+		t.Error("single-sample stddev nonzero")
+	}
+}
+
+func TestHeadlineMetricsFromSyntheticStudy(t *testing.T) {
+	s := newSyntheticStudy(t)
+	m := HeadlineMetrics(s)
+	if m["freezes"] != 1 || m["self_shutdowns"] != 1 {
+		t.Errorf("counts = %v", m)
+	}
+	if m["panics"] != 3 {
+		t.Errorf("panics = %v", m["panics"])
+	}
+	if m["mtbfr_hours"] <= 0 || m["observed_hours"] <= 0 {
+		t.Errorf("hours = %v", m)
+	}
+	if m["kernexec3_pct"] != 0 {
+		// KERN-EXEC 3 is not the top key in the synthetic study only if
+		// tied; with one of each it is sorted by count then key, so
+		// EIKON... Actually verify presence semantics: top row must be
+		// KERN-EXEC 3 for the metric to be set.
+		t.Logf("kernexec3_pct = %v (top row %v)", m["kernexec3_pct"], s.PanicTable()[0].Key)
+	}
+	// Every declared metric name that is present must be finite.
+	for _, name := range MetricNames {
+		if v, ok := m[name]; ok && (math.IsNaN(v) || math.IsInf(v, 0)) {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	runs := []map[string]float64{
+		{"a": 1, "b": 10},
+		{"a": 3, "b": 30},
+	}
+	agg := Aggregate(runs)
+	if agg["a"].Mean() != 2 || agg["b"].Mean() != 20 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if len(agg["a"].Values) != 2 {
+		t.Errorf("values = %v", agg["a"].Values)
+	}
+	if agg["a"].Name != "a" {
+		t.Errorf("name = %q", agg["a"].Name)
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+)
+
+// Failure prediction: the paper's Figure 5 observation — system panics
+// usually precede freezes and self-shutdowns — suggests an online
+// early-warning policy: raise an alarm when an alarming panic category is
+// seen, predicting a high-level event within a horizon. This file
+// evaluates such policies against the collected data, in the spirit of the
+// failure-prediction literature the paper cites (BlueGene/L prediction
+// models [11]).
+
+// PredictorConfig is one alarm policy.
+type PredictorConfig struct {
+	// AlarmCategories are the panic categories that raise an alarm; empty
+	// means every panic does.
+	AlarmCategories []string
+	// Horizon is how far ahead an alarm claims a failure will happen.
+	Horizon time.Duration
+	// LeadSlack tolerates the freeze-timestamp skew: a freeze's HL time is
+	// the LAST heartbeat record, which can precede the panic by up to one
+	// heartbeat period. An alarm still counts when the HL event's recorded
+	// time is at most LeadSlack before the panic.
+	LeadSlack time.Duration
+}
+
+// DefaultPredictorConfig alarms on the system-panic categories Figure 5
+// singles out as failure-coupled, with a ten-minute horizon.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		AlarmCategories: []string{"KERN-EXEC", "E32USER-CBase", "USER", "ViewSrv", "MSGS Client", "Phone.app"},
+		Horizon:         10 * time.Minute,
+		LeadSlack:       5 * time.Minute,
+	}
+}
+
+// PredictionReport scores a policy.
+type PredictionReport struct {
+	Alarms        int // alarms raised
+	TruePositives int // alarms followed by an HL event within the horizon
+	HLTotal       int // high-level events in the data
+	HLPredicted   int // HL events preceded by at least one alarm in the horizon
+	Precision     float64
+	Recall        float64
+	// MedianWarningSeconds is the lead time the policy buys on predicted
+	// events.
+	MedianWarningSeconds float64
+}
+
+// EvaluatePredictor replays the panic stream against the high-level events
+// and scores the alarm policy.
+func (s *Study) EvaluatePredictor(cfg PredictorConfig) PredictionReport {
+	alarmed := make(map[string]bool, len(cfg.AlarmCategories))
+	for _, c := range cfg.AlarmCategories {
+		alarmed[c] = true
+	}
+	isAlarm := func(p *PanicEvent) bool {
+		if len(cfg.AlarmCategories) == 0 {
+			return true
+		}
+		return alarmed[p.Category]
+	}
+
+	var rep PredictionReport
+	var warnings []float64
+	for _, id := range s.deviceIDs {
+		var hls []*HLEvent
+		for _, hl := range s.hlByDevice[id] {
+			if hl.Kind == HLFreeze || hl.Kind == HLSelfShutdown {
+				hls = append(hls, hl)
+			}
+		}
+		rep.HLTotal += len(hls)
+		predicted := make(map[*HLEvent]bool)
+		for _, p := range s.panicsByDevice[id] {
+			if !isAlarm(p) {
+				continue
+			}
+			rep.Alarms++
+			hit := false
+			for _, hl := range hls {
+				lead := hl.Time.Sub(p.Time)
+				if lead >= -cfg.LeadSlack && lead <= cfg.Horizon {
+					hit = true
+					if !predicted[hl] {
+						predicted[hl] = true
+						warnings = append(warnings, lead.Seconds())
+					}
+				}
+			}
+			if hit {
+				rep.TruePositives++
+			}
+		}
+		rep.HLPredicted += len(predicted)
+	}
+	if rep.Alarms > 0 {
+		rep.Precision = float64(rep.TruePositives) / float64(rep.Alarms)
+	}
+	if rep.HLTotal > 0 {
+		rep.Recall = float64(rep.HLPredicted) / float64(rep.HLTotal)
+	}
+	if len(warnings) > 0 {
+		sort.Float64s(warnings)
+		rep.MedianWarningSeconds = warnings[len(warnings)/2]
+	}
+	return rep
+}
+
+// PredictorSweep evaluates the policy across horizons (the
+// precision/recall trade-off curve).
+func (s *Study) PredictorSweep(categories []string, horizons []time.Duration) []PredictionReport {
+	out := make([]PredictionReport, 0, len(horizons))
+	for _, h := range horizons {
+		out = append(out, s.EvaluatePredictor(PredictorConfig{
+			AlarmCategories: categories,
+			Horizon:         h,
+			LeadSlack:       DefaultPredictorConfig().LeadSlack,
+		}))
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+func TestPredictorOnSyntheticData(t *testing.T) {
+	s := newSyntheticStudy(t)
+	// Alarm on everything, 10-minute horizon: the two burst panics at 1h
+	// and 1h02m precede the freeze at 1h03m; the listbox panic at 5h
+	// precedes nothing.
+	rep := s.EvaluatePredictor(PredictorConfig{Horizon: 10 * time.Minute})
+	if rep.Alarms != 3 {
+		t.Fatalf("alarms = %d", rep.Alarms)
+	}
+	if rep.TruePositives != 2 {
+		t.Errorf("true positives = %d", rep.TruePositives)
+	}
+	if rep.HLTotal != 2 || rep.HLPredicted != 1 {
+		t.Errorf("HL: total %d predicted %d", rep.HLTotal, rep.HLPredicted)
+	}
+	wantPrecision := 2.0 / 3.0
+	if math.Abs(rep.Precision-wantPrecision) > 1e-9 {
+		t.Errorf("precision = %v", rep.Precision)
+	}
+	if math.Abs(rep.Recall-0.5) > 1e-9 {
+		t.Errorf("recall = %v", rep.Recall)
+	}
+	// Warning lead for the predicted freeze: first alarming panic at 1h,
+	// freeze at 1h03m -> 180 s.
+	if rep.MedianWarningSeconds != 180 {
+		t.Errorf("median warning = %v", rep.MedianWarningSeconds)
+	}
+}
+
+func TestPredictorCategoryFilter(t *testing.T) {
+	s := newSyntheticStudy(t)
+	// Only EIKON-LISTBOX alarms: one alarm, no hits.
+	rep := s.EvaluatePredictor(PredictorConfig{
+		AlarmCategories: []string{"EIKON-LISTBOX"},
+		Horizon:         10 * time.Minute,
+	})
+	if rep.Alarms != 1 || rep.TruePositives != 0 || rep.Precision != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestPredictorSweepMonotoneRecall(t *testing.T) {
+	s := newSyntheticStudy(t)
+	reports := s.PredictorSweep(nil, []time.Duration{
+		time.Second, time.Minute, 5 * time.Minute, time.Hour,
+	})
+	prev := -1.0
+	for _, r := range reports {
+		if r.Recall < prev {
+			t.Fatalf("recall not monotone in horizon: %+v", reports)
+		}
+		prev = r.Recall
+	}
+}
+
+func TestPredictorEmpty(t *testing.T) {
+	s := New(nil, Options{})
+	rep := s.EvaluatePredictor(DefaultPredictorConfig())
+	if rep.Alarms != 0 || rep.Precision != 0 || rep.Recall != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestInterFailureTimes(t *testing.T) {
+	s := newSyntheticStudy(t)
+	xs := s.InterFailureTimesHours()
+	// Two failures (freeze at 1h03m, self-shutdown at 9h): one interval.
+	if len(xs) != 1 {
+		t.Fatalf("intervals = %v", xs)
+	}
+	want := sim.Epoch.Add(9 * time.Hour).Sub(sim.Epoch.Add(time.Hour + 3*time.Minute)).Hours()
+	if math.Abs(xs[0]-want) > 1e-9 {
+		t.Errorf("interval = %v, want %v", xs[0], want)
+	}
+}
+
+func TestExpFitOnExponentialData(t *testing.T) {
+	// Build a dataset whose failures follow an exponential process; the KS
+	// test must not reject it.
+	r := sim.NewRand(5)
+	recs := []coreBootRecord{}
+	at := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		at += r.ExpDuration(100 * time.Hour)
+		recs = append(recs, coreBootRecord{at: at, off: 80}) // self-shutdowns
+	}
+	s := New(map[string][]coreRecordAlias{"p": bootRecsToRecords(recs)}, Options{})
+	fit := s.InterFailureExpFit()
+	if fit.N != 199 {
+		t.Fatalf("N = %d", fit.N)
+	}
+	if math.Abs(fit.MeanHours-100) > 15 {
+		t.Errorf("mean = %v, want ~100", fit.MeanHours)
+	}
+	if !fit.PassesKS {
+		t.Errorf("KS rejected exponential data: D=%.4f crit=%.4f", fit.KS, fit.KSCritical05)
+	}
+}
+
+func TestExpFitRejectsRegularData(t *testing.T) {
+	// Perfectly periodic failures are maximally non-exponential.
+	recs := []coreBootRecord{}
+	for i := 1; i <= 200; i++ {
+		recs = append(recs, coreBootRecord{at: time.Duration(i) * 100 * time.Hour, off: 80})
+	}
+	s := New(map[string][]coreRecordAlias{"p": bootRecsToRecords(recs)}, Options{})
+	fit := s.InterFailureExpFit()
+	if fit.PassesKS {
+		t.Errorf("KS accepted periodic data: D=%.4f crit=%.4f", fit.KS, fit.KSCritical05)
+	}
+}
+
+func TestExpFitEmpty(t *testing.T) {
+	fit := New(nil, Options{}).InterFailureExpFit()
+	if fit.N != 0 || fit.PassesKS {
+		t.Errorf("empty fit = %+v", fit)
+	}
+}
+
+// Test helpers: build self-shutdown boot records at given instants.
+
+type coreBootRecord struct {
+	at  time.Duration // when the failure (REBOOT beat) happened
+	off float64       // reboot duration in seconds
+}
+
+type coreRecordAlias = core.Record
+
+func bootRecsToRecords(recs []coreBootRecord) []core.Record {
+	out := []core.Record{{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot}}
+	for i, r := range recs {
+		bootAt := sim.Epoch.Add(r.at + time.Duration(r.off*float64(time.Second)))
+		out = append(out, core.Record{
+			Kind:       core.KindBoot,
+			Time:       int64(bootAt),
+			Boot:       i + 2,
+			Detected:   core.DetectedShutdown,
+			PrevBeat:   core.BeatReboot,
+			PrevTime:   int64(sim.Epoch.Add(r.at)),
+			OffSeconds: r.off,
+		})
+	}
+	return out
+}
+
+func TestPredictorLeadSlackCatchesFreezeSkew(t *testing.T) {
+	// A panic recorded AFTER the freeze's HL timestamp (which is the last
+	// heartbeat, up to one period earlier than the actual freeze).
+	ds := map[string][]core.Record{
+		"p": {
+			{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot},
+			panicRec(time.Hour+2*time.Minute, "KERN-EXEC", 3, "unspecified"),
+			// Freeze whose last ALIVE beat was at 1h (2 min before the panic).
+			bootRec(90*time.Minute, 2, core.DetectedFreeze, core.BeatAlive, time.Hour),
+		},
+	}
+	s := New(ds, Options{})
+	noSlack := s.EvaluatePredictor(PredictorConfig{Horizon: 10 * time.Minute})
+	if noSlack.TruePositives != 0 {
+		t.Errorf("without slack TP = %d, want 0 (skewed timestamps)", noSlack.TruePositives)
+	}
+	withSlack := s.EvaluatePredictor(PredictorConfig{Horizon: 10 * time.Minute, LeadSlack: 5 * time.Minute})
+	if withSlack.TruePositives != 1 || withSlack.HLPredicted != 1 {
+		t.Errorf("with slack report = %+v", withSlack)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := sim.NewRand(9)
+	recs := []coreBootRecord{}
+	at := time.Duration(0)
+	for i := 0; i < 150; i++ {
+		at += r.ExpDuration(150 * time.Hour)
+		recs = append(recs, coreBootRecord{at: at, off: 80})
+	}
+	s := New(map[string][]core.Record{"p": bootRecsToRecords(recs)}, Options{})
+	lo, hi := s.BootstrapCI(500, 1)
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("CI = [%v, %v]", lo, hi)
+	}
+	mean := s.InterFailureExpFit().MeanHours
+	if mean < lo || mean > hi {
+		t.Errorf("point estimate %v outside its own CI [%v, %v]", mean, lo, hi)
+	}
+	// The true mean (150 h) should usually be inside too.
+	if 150 < lo || 150 > hi {
+		t.Errorf("true mean outside CI [%v, %v]", lo, hi)
+	}
+	// Degenerate inputs.
+	if lo, hi := New(nil, Options{}).BootstrapCI(500, 1); lo != 0 || hi != 0 {
+		t.Error("empty study CI nonzero")
+	}
+	if lo, hi := s.BootstrapCI(2, 1); lo != 0 || hi != 0 {
+		t.Error("too few resamples accepted")
+	}
+}

@@ -1,0 +1,283 @@
+// Package collect implements the study's log-collection infrastructure:
+// instrumented phones periodically upload their consolidated Log Files to a
+// collection server, where the analysis pipeline picks them up (the paper
+// references an automated software infrastructure for transferring Log
+// Files from the phones [1]).
+//
+// The transfer protocol is a deliberately simple line-oriented TCP
+// exchange:
+//
+//	client: UPLOAD <device-id> <n-bytes> <crc32c-hex>\n  then n raw bytes
+//	server: OK\n     on success
+//	        ERR <reason>\n otherwise
+//
+// The CRC-32C trailer field guards against truncated or corrupted
+// transfers — phones upload over flaky bearers.
+//
+// Uploads are idempotent per device: each upload replaces the previous one,
+// because devices always upload their full Log File.
+package collect
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"symfail/internal/core"
+)
+
+// castagnoli is the CRC-32C table used for upload integrity.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MaxUploadBytes bounds a single upload (a phone's full study log is well
+// under a megabyte; anything larger is a protocol violation).
+const MaxUploadBytes = 16 << 20
+
+// ErrTooLarge is returned when an upload exceeds MaxUploadBytes.
+var ErrTooLarge = errors.New("collect: upload too large")
+
+// Dataset is the collected study data: the raw Log File bytes per device.
+type Dataset struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{files: make(map[string][]byte)}
+}
+
+// Put stores (replaces) a device's log.
+func (ds *Dataset) Put(deviceID string, data []byte) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.files[deviceID] = append([]byte(nil), data...)
+}
+
+// Get returns a copy of a device's log.
+func (ds *Dataset) Get(deviceID string) ([]byte, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	data, ok := ds.files[deviceID]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Devices returns the device IDs present, sorted.
+func (ds *Dataset) Devices() []string {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make([]string, 0, len(ds.files))
+	for id := range ds.files {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Records parses a device's log into records.
+func (ds *Dataset) Records(deviceID string) []core.Record {
+	data, ok := ds.Get(deviceID)
+	if !ok {
+		return nil
+	}
+	return core.ParseRecords(data)
+}
+
+// AllRecords parses every device's log, keyed by device ID.
+func (ds *Dataset) AllRecords() map[string][]core.Record {
+	out := make(map[string][]core.Record)
+	for _, id := range ds.Devices() {
+		out[id] = ds.Records(id)
+	}
+	return out
+}
+
+// Server is the collection server.
+type Server struct {
+	ds       *Dataset
+	listener net.Listener
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	uploads  int
+}
+
+// NewServer starts a collection server on addr ("127.0.0.1:0" picks a free
+// port) feeding the given dataset.
+func NewServer(addr string, ds *Dataset) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collect: listen: %w", err)
+	}
+	s := &Server{ds: ds, listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Uploads returns the number of successful uploads served.
+func (s *Server) Uploads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.uploads
+}
+
+// Close stops accepting connections and waits for in-flight uploads.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		return
+	}
+	r := bufio.NewReader(conn)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	id, size, sum, err := parseHeader(header)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		fmt.Fprintf(conn, "ERR short body: %v\n", err)
+		return
+	}
+	if got := crc32.Checksum(data, castagnoli); got != sum {
+		fmt.Fprintf(conn, "ERR checksum mismatch: got %08x want %08x\n", got, sum)
+		return
+	}
+	s.ds.PutMerged(id, data)
+	s.mu.Lock()
+	s.uploads++
+	s.mu.Unlock()
+	fmt.Fprint(conn, "OK\n")
+}
+
+func parseHeader(line string) (id string, size int, sum uint32, err error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 4 || fields[0] != "UPLOAD" {
+		return "", 0, 0, errors.New("bad header")
+	}
+	id = fields[1]
+	size, err = strconv.Atoi(fields[2])
+	if err != nil || size < 0 {
+		return "", 0, 0, errors.New("bad size")
+	}
+	if size > MaxUploadBytes {
+		return "", 0, 0, ErrTooLarge
+	}
+	crc, err := strconv.ParseUint(fields[3], 16, 32)
+	if err != nil {
+		return "", 0, 0, errors.New("bad checksum")
+	}
+	return id, size, uint32(crc), nil
+}
+
+// Upload sends a device's log to the collection server at addr.
+func Upload(addr, deviceID string, data []byte) error {
+	if len(data) > MaxUploadBytes {
+		return ErrTooLarge
+	}
+	if strings.ContainsAny(deviceID, " \n\t") || deviceID == "" {
+		return fmt.Errorf("collect: invalid device id %q", deviceID)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		return fmt.Errorf("collect: deadline: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "UPLOAD %s %d %08x\n", deviceID, len(data), crc32.Checksum(data, castagnoli)); err != nil {
+		return fmt.Errorf("collect: send header: %w", err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("collect: send body: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("collect: read reply: %w", err)
+	}
+	reply = strings.TrimSpace(reply)
+	if reply != "OK" {
+		return fmt.Errorf("collect: server rejected upload: %s", reply)
+	}
+	return nil
+}
+
+// PutMerged stores a device's log, preserving records the previous copy
+// had but the new one lost — after a master reset the phone re-uploads a
+// freshly started log, and the server must not forget the pre-reset study
+// data. Records are deduplicated by their exact serialized form and kept
+// in timestamp order.
+func (ds *Dataset) PutMerged(deviceID string, data []byte) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	old, ok := ds.files[deviceID]
+	if !ok {
+		ds.files[deviceID] = append([]byte(nil), data...)
+		return
+	}
+	seen := make(map[string]bool)
+	var recs []core.Record
+	for _, blob := range [][]byte{old, data} {
+		for _, r := range core.ParseRecords(blob) {
+			key := string(core.EncodeRecord(r))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			recs = append(recs, r)
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+	var merged []byte
+	for _, r := range recs {
+		merged = append(merged, core.EncodeRecord(r)...)
+	}
+	ds.files[deviceID] = merged
+}

@@ -1,0 +1,99 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Export/import of collected datasets to the host filesystem, so a study
+// can be collected once and analysed many times (the cmd/analyze tool reads
+// these directories).
+//
+// Layout:
+//
+//	<dir>/manifest.json          {"devices": {"phone-01": 12345, ...}}
+//	<dir>/phone-01.log           raw Log File bytes
+//	<dir>/phone-02.log
+//	...
+
+// manifest describes an exported dataset: device id -> log size in bytes.
+type manifest struct {
+	Devices map[string]int `json:"devices"`
+}
+
+// ExportDir writes the dataset to dir (created if needed). Existing files
+// for the same devices are overwritten; unrelated files are left alone.
+func ExportDir(ds *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("collect: export: %w", err)
+	}
+	m := manifest{Devices: make(map[string]int)}
+	for _, id := range ds.Devices() {
+		data, _ := ds.Get(id)
+		name, err := deviceFileName(id)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return fmt.Errorf("collect: export %s: %w", id, err)
+		}
+		m.Devices[id] = len(data)
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("collect: export manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644); err != nil {
+		return fmt.Errorf("collect: export manifest: %w", err)
+	}
+	return nil
+}
+
+// ImportDir reads a dataset exported by ExportDir. Devices listed in the
+// manifest but missing on disk are an error; size mismatches are an error
+// (truncated copy).
+func ImportDir(dir string) (*Dataset, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("collect: import: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("collect: import manifest: %w", err)
+	}
+	ds := NewDataset()
+	ids := make([]string, 0, len(m.Devices))
+	for id := range m.Devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		name, err := deviceFileName(id)
+		if err != nil {
+			return nil, err
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("collect: import %s: %w", id, err)
+		}
+		if len(data) != m.Devices[id] {
+			return nil, fmt.Errorf("collect: import %s: size %d, manifest says %d (truncated?)",
+				id, len(data), m.Devices[id])
+		}
+		ds.Put(id, data)
+	}
+	return ds, nil
+}
+
+// deviceFileName maps a device id to its on-disk name, rejecting ids that
+// would escape the export directory.
+func deviceFileName(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\:") || strings.Contains(id, "..") {
+		return "", fmt.Errorf("collect: unsafe device id %q", id)
+	}
+	return id + ".log", nil
+}

@@ -1,0 +1,70 @@
+package collect
+
+import (
+	"time"
+
+	"symfail/internal/phone"
+)
+
+// Uploader periodically pushes a device's Log File to the collection
+// server while the phone is on — the paper's automated software
+// infrastructure for transferring Log Files from the phones [1]. Uploads
+// are full-file and idempotent, so a phone that dies between uploads only
+// loses the tail the server never saw; the final collection at study end
+// picks that up.
+type Uploader struct {
+	dev   *phone.Device
+	addr  string
+	every time.Duration
+	path  string
+
+	attempts  int
+	successes int
+	lastErr   error
+}
+
+// AttachUploader installs a periodic uploader on a device. path is the
+// on-flash Log File to ship (the logger's LogPath); every is the upload
+// period in simulated time. The schedule is anchored to the collection
+// infrastructure, not to the phone's boot cycle: a tick that finds the
+// phone off (or frozen) is skipped and the next one fires a period later,
+// so reboots never silence the uploads. The TCP transfer itself happens in
+// host time inside the simulation event, which is how a transfer that is
+// near-instant relative to phone timescales should behave.
+func AttachUploader(d *phone.Device, addr, path string, every time.Duration) *Uploader {
+	u := &Uploader{dev: d, addr: addr, every: every, path: path}
+	u.loop()
+	return u
+}
+
+// Attempts returns how many uploads were tried.
+func (u *Uploader) Attempts() int { return u.attempts }
+
+// Successes returns how many uploads the server acknowledged.
+func (u *Uploader) Successes() int { return u.successes }
+
+// LastErr returns the most recent upload error (nil when clean).
+func (u *Uploader) LastErr() error { return u.lastErr }
+
+func (u *Uploader) loop() {
+	u.dev.Engine().After(u.every, "upload "+u.dev.ID(), func() {
+		if u.dev.State() == phone.StateOn {
+			u.uploadNow()
+		}
+		u.loop()
+	})
+}
+
+func (u *Uploader) uploadNow() {
+	data, ok := u.dev.FS().Read(u.path)
+	if !ok {
+		return // nothing logged yet
+	}
+	u.attempts++
+	if err := Upload(u.addr, u.dev.ID(), data); err != nil {
+		// Flaky networks must not crash the phone; try again next period.
+		u.lastErr = err
+		return
+	}
+	u.successes++
+}

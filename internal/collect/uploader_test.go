@@ -1,0 +1,126 @@
+package collect
+
+import (
+	"testing"
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+)
+
+func quietConfig(seed uint64) phone.Config {
+	cfg := phone.DefaultConfig(seed)
+	cfg.PanicOpportunityPerHour = 0
+	cfg.SpontaneousFreezePerHour = 0
+	cfg.SpontaneousShutdownPerHour = 0
+	cfg.OutputFailurePerHour = 0
+	cfg.NightOffProb = 0
+	cfg.DayOffPerHour = 0
+	return cfg
+}
+
+func TestUploaderShipsLogsPeriodically(t *testing.T) {
+	ds := NewDataset()
+	srv, err := NewServer("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	eng := sim.NewEngine()
+	d := phone.NewDevice("upl-test", eng, quietConfig(1))
+	l := core.Install(d, core.Config{})
+	u := AttachUploader(d, srv.Addr(), l.Config().LogPath, 6*time.Hour)
+	d.Enroll(sim.Epoch)
+	if err := eng.Run(sim.Epoch.Add(48 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	if u.Successes() < 7 {
+		t.Errorf("successes = %d over 48 h at 6 h period", u.Successes())
+	}
+	if u.Attempts() != u.Successes() {
+		t.Errorf("attempts %d != successes %d (lastErr %v)", u.Attempts(), u.Successes(), u.LastErr())
+	}
+	// The server holds the device's latest log; it parses to the same
+	// records as the on-flash file (modulo anything after the last upload).
+	recs := ds.Records("upl-test")
+	if len(recs) == 0 {
+		t.Fatal("server has no records")
+	}
+	if recs[0].Kind != core.KindBoot || recs[0].Detected != core.DetectedFirstBoot {
+		t.Errorf("first uploaded record = %+v", recs[0])
+	}
+}
+
+func TestUploaderSurvivesReboots(t *testing.T) {
+	ds := NewDataset()
+	srv, err := NewServer("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	eng := sim.NewEngine()
+	d := phone.NewDevice("upl-reboot", eng, quietConfig(2))
+	l := core.Install(d, core.Config{})
+	u := AttachUploader(d, srv.Addr(), l.Config().LogPath, 2*time.Hour)
+	d.Enroll(sim.Epoch)
+	eng.Step()
+	for i := 0; i < 3; i++ {
+		if err := eng.Run(eng.Now().Add(5 * time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		d.Shutdown(phone.ReasonUser, 30*time.Minute)
+		if err := eng.Run(eng.Now().Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the final boot's upload chain fire once more, so the server has
+	// the complete reboot history.
+	if err := eng.Run(eng.Now().Add(3 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if u.Successes() < 5 {
+		t.Errorf("successes = %d across reboots", u.Successes())
+	}
+	// The uploaded log includes the reboot history.
+	boots := 0
+	for _, r := range ds.Records("upl-reboot") {
+		if r.Kind == core.KindBoot {
+			boots++
+		}
+	}
+	if boots < 4 {
+		t.Errorf("uploaded log has %d boots, want >= 4", boots)
+	}
+}
+
+func TestUploaderToleratesDeadServer(t *testing.T) {
+	ds := NewDataset()
+	srv, err := NewServer("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	_ = srv.Close() // server gone before the study starts
+
+	eng := sim.NewEngine()
+	d := phone.NewDevice("upl-dead", eng, quietConfig(3))
+	l := core.Install(d, core.Config{})
+	u := AttachUploader(d, addr, l.Config().LogPath, 3*time.Hour)
+	d.Enroll(sim.Epoch)
+	if err := eng.Run(sim.Epoch.Add(12 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if u.Successes() != 0 {
+		t.Errorf("successes = %d against a dead server", u.Successes())
+	}
+	if u.Attempts() == 0 || u.LastErr() == nil {
+		t.Error("uploader never tried / never recorded the failure")
+	}
+	if d.State() != phone.StateOn {
+		t.Error("upload failures must not take the phone down")
+	}
+}

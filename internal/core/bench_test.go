@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+)
+
+// BenchmarkLoggedDeviceMonth measures one instrumented phone-month —
+// the logger's overhead sits on top of BenchmarkDeviceMonth in the phone
+// package.
+func BenchmarkLoggedDeviceMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		d := phone.NewDevice("bench", eng, phone.DefaultConfig(uint64(i+1)))
+		core.Install(d, core.Config{})
+		d.Enroll(sim.Epoch)
+		if err := eng.Run(sim.Epoch.Add(30 * 24 * time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		d.Finalize()
+	}
+}
+
+// BenchmarkRecordEncodeDecode measures the Log File record codec.
+func BenchmarkRecordEncodeDecode(b *testing.B) {
+	rec := core.Record{
+		Kind: core.KindPanic, Time: 123456789, Category: "KERN-EXEC", PType: 3,
+		Apps: []string{"Messages", "Telephone", "Log"}, Activity: "voice-call",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := core.EncodeRecord(rec)
+		if recs := core.ParseRecords(line); len(recs) != 1 {
+			b.Fatal("codec broke")
+		}
+	}
+}
+
+// BenchmarkParseStudyLog measures parsing a realistic full-study Log File.
+func BenchmarkParseStudyLog(b *testing.B) {
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		buf = append(buf, core.EncodeRecord(core.Record{
+			Kind: core.KindBoot, Time: int64(i) * 1e12, Boot: i + 1,
+			Detected: core.DetectedShutdown, PrevBeat: core.BeatReboot,
+			PrevTime: int64(i)*1e12 - 9e10, OffSeconds: 90,
+		})...)
+		if i%4 == 0 {
+			buf = append(buf, core.EncodeRecord(core.Record{
+				Kind: core.KindPanic, Time: int64(i)*1e12 + 5e11,
+				Category: "KERN-EXEC", PType: 3,
+				Apps: []string{"Messages"}, Activity: "voice-call",
+			})...)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := core.ParseRecords(buf); len(recs) != 2500 {
+			b.Fatalf("parsed %d", len(recs))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"symfail/internal/phone"
+	"symfail/internal/symbos"
+)
+
+// DExc is the baseline comparator the paper discusses in section 3: the
+// D_EXC tool "enables collecting panic events generated on a phone.
+// However, the tool does not relate panic events to failure manifestations,
+// running applications, and phone activities as we do in our study."
+//
+// It is implemented here exactly at that capability level: a bare RDebug
+// subscriber that appends (category, type, time) triples — no heartbeat, no
+// running-application snapshot, no activity correlation. Feeding its output
+// to the analysis pipeline reproduces Table 2 but yields empty Figures 4-6
+// and Tables 3-4, which is the quantitative argument for the paper's richer
+// logger design (see the core tests and BenchmarkBaselineDExc).
+type DExc struct {
+	dev  *phone.Device
+	path string
+}
+
+// DefaultDExcPath is where D_EXC appends its panic log.
+const DefaultDExcPath = "logs/dexc"
+
+// InstallDExc attaches the baseline collector to a device. It can coexist
+// with the full logger (both subscribe to RDebug).
+func InstallDExc(d *phone.Device, path string) *DExc {
+	if path == "" {
+		path = DefaultDExcPath
+	}
+	x := &DExc{dev: d, path: path}
+	d.OnBoot(x.startHook)
+	return x
+}
+
+// Records parses the panic records D_EXC captured.
+func (x *DExc) Records() []Record {
+	data, ok := x.dev.FS().Read(x.path)
+	if !ok {
+		return nil
+	}
+	return ParseRecords(data)
+}
+
+// LogBytes returns the raw log for collection.
+func (x *DExc) LogBytes() []byte {
+	data, _ := x.dev.FS().Read(x.path)
+	return data
+}
+
+func (x *DExc) startHook(d *phone.Device) {
+	d.Kernel().SubscribeRDebug(func(p *symbos.Panic) {
+		rec := Record{
+			Kind:     KindPanic,
+			Time:     int64(p.Time),
+			Category: string(p.Category),
+			PType:    p.Type,
+			// Deliberately no Apps and no Activity: D_EXC cannot see them.
+		}
+		d.FS().Append(x.path, EncodeRecord(rec))
+	})
+}

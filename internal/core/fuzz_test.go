@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"testing"
+
+	"symfail/internal/core"
+)
+
+// Fuzz targets: the log parsers must never panic on corrupt flash content —
+// power loss can tear writes anywhere.
+
+func FuzzParseRecords(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{"))
+	f.Add([]byte("{\"kind\":\"boot\",\"time\":1}\n"))
+	f.Add([]byte("{\"kind\":\"panic\",\"time\":2,\"category\":\"USER\",\"ptype\":11}\nnot json\n"))
+	f.Add(core.EncodeRecord(core.Record{Kind: core.KindBoot, Time: 9, Boot: 3, Detected: core.DetectedFreeze}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs := core.ParseRecords(data)
+		for _, r := range recs {
+			// Whatever parses must re-encode without panicking.
+			_ = core.EncodeRecord(r)
+			_ = r.PanicKey()
+			_ = r.When()
+		}
+	})
+}
+
+func FuzzParseBeat(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"kind\":\"ALIVE\",\"time\":123}"))
+	f.Add([]byte("{\"kind\":\"WHAT\",\"time\":1}"))
+	f.Add(core.EncodeBeat(core.Beat{Kind: core.BeatReboot, Time: 55}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if beat, ok := core.ParseBeat(data); ok {
+			switch beat.Kind {
+			case core.BeatAlive, core.BeatReboot, core.BeatLowBat, core.BeatMAOff:
+			default:
+				t.Fatalf("accepted invalid beat kind %q", beat.Kind)
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+	"symfail/internal/symbos"
+)
+
+// Config tunes the logger. Zero values fall back to the defaults the study
+// deployment used.
+type Config struct {
+	// HeartbeatPeriod is the Heartbeat AO period (default: the device's
+	// configured heartbeat period). Shorter periods detect freezes with
+	// finer off-time resolution at the price of flash wear — the ablation
+	// bench sweeps this.
+	HeartbeatPeriod time.Duration
+	// RunAppPeriod is the Running Applications Detector sampling period.
+	RunAppPeriod time.Duration
+	// ActivityPeriod is the Log Engine collection period.
+	ActivityPeriod time.Duration
+	// MaxLogBytes caps the consolidated Log File on flash. When an append
+	// would exceed the cap, the oldest complete records are dropped
+	// (front-truncated at a record boundary) — study-era phones had
+	// single-digit megabytes of flash to spare. Zero means 1 MiB.
+	MaxLogBytes int
+	// Paths for the on-flash files (defaults: the Default*Path constants).
+	LogPath, BeatsPath, RunAppPath, ActivityPath, PowerPath string
+}
+
+func (c Config) withDefaults(d *phone.Device) Config {
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = d.Config().HeartbeatPeriod
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 5 * time.Minute
+	}
+	if c.RunAppPeriod <= 0 {
+		c.RunAppPeriod = d.Config().RunAppSamplePeriod
+	}
+	if c.RunAppPeriod <= 0 {
+		c.RunAppPeriod = 10 * time.Minute
+	}
+	if c.ActivityPeriod <= 0 {
+		c.ActivityPeriod = 30 * time.Minute
+	}
+	if c.MaxLogBytes <= 0 {
+		c.MaxLogBytes = 1 << 20
+	}
+	if c.LogPath == "" {
+		c.LogPath = DefaultLogPath
+	}
+	if c.BeatsPath == "" {
+		c.BeatsPath = DefaultBeatsPath
+	}
+	if c.RunAppPath == "" {
+		c.RunAppPath = DefaultRunAppPath
+	}
+	if c.ActivityPath == "" {
+		c.ActivityPath = DefaultActivityPath
+	}
+	if c.PowerPath == "" {
+		c.PowerPath = DefaultPowerPath
+	}
+	return c
+}
+
+// Logger is the failure data logger installed on one device. It restarts
+// its daemon at every boot (the phone start-up launches it, Figure 1) and
+// accumulates its records on the device's flash filesystem.
+type Logger struct {
+	dev *phone.Device
+	cfg Config
+}
+
+// Install attaches the logger to a device. It takes effect from the next
+// boot, so call it before the device's enrolment boot fires.
+func Install(d *phone.Device, cfg Config) *Logger {
+	l := &Logger{dev: d, cfg: cfg.withDefaults(d)}
+	d.OnBoot(l.startDaemon)
+	return l
+}
+
+// Device returns the instrumented device.
+func (l *Logger) Device() *phone.Device { return l.dev }
+
+// Config returns the resolved logger configuration.
+func (l *Logger) Config() Config { return l.cfg }
+
+// Records parses the consolidated Log File as currently on flash.
+func (l *Logger) Records() []Record {
+	data, ok := l.dev.FS().Read(l.cfg.LogPath)
+	if !ok {
+		return nil
+	}
+	return ParseRecords(data)
+}
+
+// LogBytes returns the raw Log File (what the collection infrastructure
+// uploads).
+func (l *Logger) LogBytes() []byte {
+	data, _ := l.dev.FS().Read(l.cfg.LogPath)
+	return data
+}
+
+// daemon is the per-boot state of the logger application.
+type daemon struct {
+	l    *Logger
+	dev  *phone.Device
+	k    *symbos.Kernel
+	proc *symbos.Process
+
+	appArch  *symbos.Session
+	dbLog    *symbos.Session
+	sysAgent *symbos.Session
+	files    *symbos.FileSession
+
+	heartbeat *symbos.ActiveObject
+	hbTimer   *symbos.Timer
+	runApp    *symbos.ActiveObject
+	raTimer   *symbos.Timer
+	logEngine *symbos.ActiveObject
+	leTimer   *symbos.Timer
+	powerMgr  *symbos.ActiveObject
+	battProp  *symbos.Property
+}
+
+// startDaemon launches the logger application on the freshly booted kernel.
+func (l *Logger) startDaemon(d *phone.Device) {
+	k := d.Kernel()
+	dm := &daemon{l: l, dev: d, k: k}
+	dm.proc = k.StartProcess("FailureLogger", false)
+	t := dm.proc.Main()
+	dm.appArch = d.AppArchServer().Connect(t)
+	dm.dbLog = d.DBLogServer().Connect(t)
+	dm.sysAgent = d.SysAgentServer().Connect(t)
+	dm.files = d.FileServer().Connect(t)
+
+	// Boot-time work of the Panic Detector: classify how the previous
+	// session ended from the last heartbeat record, consolidate a boot
+	// record, and reset the heartbeat.
+	k.Exec(t, "logger-boot", func() {
+		dm.consolidateBoot()
+		dm.writeBeat(BeatAlive)
+	})
+
+	// Heartbeat AO: the highest-priority active object, re-arming its own
+	// RTimer every period.
+	dm.heartbeat = t.NewActiveObject("Heartbeat", 10, func(int) {
+		dm.writeBeat(BeatAlive)
+		dm.hbTimer.After(l.cfg.HeartbeatPeriod)
+	})
+	dm.hbTimer = symbos.NewTimer(dm.heartbeat)
+	k.Exec(t, "logger-arm-heartbeat", func() { dm.hbTimer.After(l.cfg.HeartbeatPeriod) })
+
+	// Running Applications Detector AO.
+	dm.runApp = t.NewActiveObject("RunningApplicationsDetector", 5, func(int) {
+		dm.sampleRunningApps()
+		dm.raTimer.After(l.cfg.RunAppPeriod)
+	})
+	dm.raTimer = symbos.NewTimer(dm.runApp)
+	k.Exec(t, "logger-arm-runapp", func() { dm.raTimer.After(l.cfg.RunAppPeriod) })
+
+	// Log Engine AO.
+	dm.logEngine = t.NewActiveObject("LogEngine", 5, func(int) {
+		dm.collectActivity()
+		dm.leTimer.After(l.cfg.ActivityPeriod)
+	})
+	dm.leTimer = symbos.NewTimer(dm.logEngine)
+	k.Exec(t, "logger-arm-logengine", func() { dm.leTimer.After(l.cfg.ActivityPeriod) })
+
+	// Power Manager AO: subscribes to the System Agent's battery property
+	// and refreshes the power file on every publication, so a LOWBT
+	// shutdown can be told apart from a failure (section 5.1).
+	dm.battProp = d.Properties().Attach(symbos.PropBatteryStatus)
+	dm.powerMgr = t.NewActiveObject("PowerManager", 5, func(int) {
+		dm.recordPower()
+		dm.battProp.Subscribe(dm.powerMgr)
+	})
+	k.Exec(t, "logger-arm-power", func() {
+		dm.recordPower()
+		dm.battProp.Subscribe(dm.powerMgr)
+	})
+
+	// Panic Detector: RDebug notification from the Kernel Server.
+	k.SubscribeRDebug(dm.onPanic)
+
+	// Power Manager + Heartbeat shutdown path: when Symbian lets
+	// applications complete their tasks before power-off, record why.
+	d.RegisterShutdownHook(func(reason phone.ShutdownReason) {
+		k.Exec(t, "logger-shutdown", func() {
+			switch reason {
+			case phone.ReasonLowBattery:
+				dm.writeBeat(BeatLowBat)
+			case phone.ReasonLoggerOff:
+				dm.writeBeat(BeatMAOff)
+			default:
+				dm.writeBeat(BeatReboot)
+			}
+		})
+	})
+}
+
+// writeBeat replaces the heartbeat record on flash, through the file
+// server like any other Symbian application.
+func (dm *daemon) writeBeat(kind BeatKind) {
+	dm.files.WriteFile(dm.l.cfg.BeatsPath, EncodeBeat(Beat{Kind: kind, Time: int64(dm.k.Now())}))
+}
+
+// consolidateBoot reads the last heartbeat record and appends the boot
+// record that section 5.2's decision procedure implies.
+func (dm *daemon) consolidateBoot() {
+	now := dm.k.Now()
+	rec := Record{
+		Kind:      KindBoot,
+		Time:      int64(now),
+		Boot:      dm.dev.BootCount(),
+		OSVersion: dm.dev.OSVersion(),
+	}
+	if data, code := dm.files.ReadFile(dm.l.cfg.BeatsPath); code == symbos.KErrNone {
+		if beat, valid := ParseBeat(data); valid {
+			rec.PrevBeat = beat.Kind
+			rec.PrevTime = beat.Time
+			rec.OffSeconds = now.Sub(sim.Time(beat.Time)).Seconds()
+			switch beat.Kind {
+			case BeatAlive:
+				// Power vanished with no orderly shutdown: the phone was
+				// frozen and the battery was pulled.
+				rec.Detected = DetectedFreeze
+			case BeatReboot:
+				rec.Detected = DetectedShutdown
+			case BeatLowBat:
+				rec.Detected = DetectedLowBattery
+			case BeatMAOff:
+				rec.Detected = DetectedLoggerOff
+			}
+		} else {
+			rec.Detected = DetectedFirstBoot
+		}
+	} else {
+		rec.Detected = DetectedFirstBoot
+	}
+	dm.append(rec)
+}
+
+// onPanic is the Panic Detector: for every RDebug notification it gathers
+// the running applications and the current phone activity, and appends a
+// consolidated panic record.
+func (dm *daemon) onPanic(p *symbos.Panic) {
+	rec := Record{
+		Kind:     KindPanic,
+		Time:     int64(p.Time),
+		Category: string(p.Category),
+		PType:    p.Type,
+		Apps:     dm.queryRunningApps(),
+		Activity: dm.currentActivity(p.Time),
+	}
+	dm.append(rec)
+}
+
+// sampleRunningApps refreshes the runapp file.
+func (dm *daemon) sampleRunningApps() {
+	apps := dm.queryRunningApps()
+	dm.files.WriteFile(dm.l.cfg.RunAppPath, []byte(strings.Join(apps, ",")))
+}
+
+// queryRunningApps asks the Application Architecture Server for the
+// running application IDs.
+func (dm *daemon) queryRunningApps() []string {
+	resp, code := dm.appArch.Query(phone.OpListApps, "")
+	if code != symbos.KErrNone || resp == "" {
+		return nil
+	}
+	return strings.Split(resp, ",")
+}
+
+// collectActivity refreshes the activity file from the Database Log Server.
+func (dm *daemon) collectActivity() {
+	resp, code := dm.dbLog.Query(phone.OpRecentActivity, "")
+	if code != symbos.KErrNone {
+		return
+	}
+	dm.files.WriteFile(dm.l.cfg.ActivityPath, []byte(resp))
+}
+
+// recordPower refreshes the power file from the System Agent.
+func (dm *daemon) recordPower() {
+	if batt, code := dm.sysAgent.Query(phone.OpBatteryStatus, ""); code == symbos.KErrNone {
+		dm.files.WriteFile(dm.l.cfg.PowerPath, []byte(batt))
+	}
+}
+
+// currentActivity resolves the registered activity (voice call or message)
+// in progress at the given instant, or "unspecified" — the Database Log
+// Server registers only calls and messages (Table 3).
+func (dm *daemon) currentActivity(at sim.Time) string {
+	resp, code := dm.dbLog.Query(phone.OpRecentActivity, "")
+	if code != symbos.KErrNone {
+		return "unspecified"
+	}
+	for _, rec := range phone.DecodeActivity(resp) {
+		if rec.Start.After(at) {
+			continue
+		}
+		if rec.Ongoing() || !rec.End.Before(at) {
+			return string(rec.Kind)
+		}
+	}
+	return "unspecified"
+}
+
+// append adds a record to the consolidated Log File, rotating when the
+// flash budget is exhausted.
+func (dm *daemon) append(rec Record) {
+	line := EncodeRecord(rec)
+	if data, code := dm.files.ReadFile(dm.l.cfg.LogPath); code == symbos.KErrNone &&
+		len(data)+len(line) > dm.l.cfg.MaxLogBytes {
+		dm.files.WriteFile(dm.l.cfg.LogPath, rotate(data, dm.l.cfg.MaxLogBytes/2))
+	}
+	dm.files.AppendFile(dm.l.cfg.LogPath, line)
+}
+
+// rotate drops the oldest records so at most keep bytes remain, cutting at
+// a record (line) boundary so the survivor still parses.
+func rotate(data []byte, keep int) []byte {
+	if len(data) <= keep {
+		return data
+	}
+	cut := len(data) - keep
+	for cut < len(data) && data[cut-1] != '\n' {
+		cut++
+	}
+	return append([]byte(nil), data[cut:]...)
+}

@@ -1,0 +1,168 @@
+// Package core implements the paper's primary contribution: the failure
+// data logger for Symbian OS smart phones (section 5). The logger is a
+// daemon application started at phone boot, built from Active Objects:
+//
+//   - Heartbeat: periodically writes ALIVE records and, via the shutdown
+//     notification, REBOOT/LOWBT/MAOFF records, enabling freeze and
+//     self-shutdown detection (section 5.2);
+//   - Panic Detector: subscribes to the Kernel Server's RDebug panic
+//     notifications and consolidates panic context into the Log File;
+//   - Running Applications Detector: samples the Application Architecture
+//     Server;
+//   - Log Engine: collects phone activity (calls, messages) from the
+//     Database Log Server;
+//   - Power Manager: reads battery state from the System Agent Server to
+//     tell low-battery shutdowns from failures.
+//
+// The logger observes the phone exclusively through the simulated OS
+// services — it never peeks at simulator ground truth.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"symfail/internal/sim"
+)
+
+// Default on-flash paths for the logger's files (mirroring Figure 1).
+const (
+	DefaultLogPath      = "logs/logfile"
+	DefaultBeatsPath    = "logs/beats"
+	DefaultRunAppPath   = "logs/runapp"
+	DefaultActivityPath = "logs/activity"
+	DefaultPowerPath    = "logs/power"
+)
+
+// BeatKind is the heartbeat record type of section 5.2.
+type BeatKind string
+
+// Heartbeat record kinds.
+const (
+	BeatAlive  BeatKind = "ALIVE"  // normal execution
+	BeatReboot BeatKind = "REBOOT" // orderly shutdown (self or user)
+	BeatLowBat BeatKind = "LOWBT"  // shutdown due to low battery
+	BeatMAOff  BeatKind = "MAOFF"  // user deliberately stopped the logger
+)
+
+// Beat is the single heartbeat record kept on flash. Only the most recent
+// record matters to the boot-time detector, so the file holds exactly one.
+type Beat struct {
+	Kind BeatKind `json:"kind"`
+	Time int64    `json:"time"` // sim.Time in nanoseconds
+}
+
+// Detection classifies what the boot-time detector concluded from the last
+// heartbeat record (section 5.2).
+type Detection string
+
+// Boot-time detection outcomes.
+const (
+	// DetectedFreeze: the last record was ALIVE, so power was lost without
+	// an orderly shutdown — the phone froze and the user pulled the
+	// battery.
+	DetectedFreeze Detection = "freeze"
+	// DetectedShutdown: the last record was REBOOT — either a
+	// self-shutdown or a user power cycle; the reboot-duration analysis
+	// (Figure 2) separates the two.
+	DetectedShutdown Detection = "shutdown"
+	// DetectedLowBattery / DetectedLoggerOff: explained shutdowns.
+	DetectedLowBattery Detection = "low-battery"
+	DetectedLoggerOff  Detection = "logger-off"
+	// DetectedFirstBoot: no heartbeat file yet.
+	DetectedFirstBoot Detection = "first-boot"
+)
+
+// Record kinds in the consolidated Log File.
+const (
+	KindBoot  = "boot"
+	KindPanic = "panic"
+)
+
+// Record is one entry of the consolidated Log File the Panic Detector
+// maintains. Boot records carry the detection of what ended the previous
+// session; panic records carry the panic with the phone context gathered
+// from the other active objects.
+type Record struct {
+	Kind string `json:"kind"`
+	Time int64  `json:"time"`
+
+	// Boot records.
+	Boot       int       `json:"boot,omitempty"`
+	OSVersion  string    `json:"os,omitempty"`
+	PrevBeat   BeatKind  `json:"prevBeat,omitempty"`
+	PrevTime   int64     `json:"prevTime,omitempty"`
+	OffSeconds float64   `json:"offSeconds,omitempty"`
+	Detected   Detection `json:"detected,omitempty"`
+
+	// Panic records.
+	Category string   `json:"category,omitempty"`
+	PType    int      `json:"ptype,omitempty"`
+	Apps     []string `json:"apps,omitempty"`
+	Activity string   `json:"activity,omitempty"`
+}
+
+// When returns the record timestamp as a sim.Time.
+func (r Record) When() sim.Time { return sim.Time(r.Time) }
+
+// PanicKey formats the panic identity the way the paper's tables do
+// ("KERN-EXEC 3"). Empty for non-panic records.
+func (r Record) PanicKey() string {
+	if r.Kind != KindPanic {
+		return ""
+	}
+	return fmt.Sprintf("%s %d", r.Category, r.PType)
+}
+
+// EncodeRecord serialises a record as one JSON line.
+func EncodeRecord(r Record) []byte {
+	data, err := json.Marshal(r)
+	if err != nil {
+		// Record contains only marshalable fields; this is unreachable.
+		panic(fmt.Sprintf("core: marshal record: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// ParseRecords parses a Log File (JSON lines). Truncated or corrupt lines
+// are skipped — flash writes can be cut short by power loss, and a log
+// analyser must survive that.
+func ParseRecords(data []byte) []Record {
+	var out []Record
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// EncodeBeat serialises the heartbeat record.
+func EncodeBeat(b Beat) []byte {
+	data, err := json.Marshal(b)
+	if err != nil {
+		panic(fmt.Sprintf("core: marshal beat: %v", err))
+	}
+	return data
+}
+
+// ParseBeat parses the heartbeat file. ok is false when the file is absent
+// or corrupt (treated as a first boot).
+func ParseBeat(data []byte) (Beat, bool) {
+	var b Beat
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Beat{}, false
+	}
+	switch b.Kind {
+	case BeatAlive, BeatReboot, BeatLowBat, BeatMAOff:
+		return b, true
+	default:
+		return Beat{}, false
+	}
+}

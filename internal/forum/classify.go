@@ -1,0 +1,126 @@
+package forum
+
+import "strings"
+
+// Classification is the label set the pipeline extracts from one post.
+type Classification struct {
+	IsFailure bool
+	Type      FailureType
+	Recovery  Recovery
+	Severity  Severity
+	Activity  ActivityTag
+}
+
+// Classify labels one post with keyword rules, the way a human coder (or
+// the paper's filtering pass) reads free-format forum text. It never looks
+// at the post's hidden ground-truth fields.
+func Classify(p Post) Classification {
+	text := strings.ToLower(p.Text)
+	ft, ok := classifyType(text)
+	if !ok {
+		return Classification{}
+	}
+	rec := classifyRecovery(text)
+	return Classification{
+		IsFailure: true,
+		Type:      ft,
+		Recovery:  rec,
+		Severity:  SeverityOf(rec),
+		Activity:  classifyActivity(text),
+	}
+}
+
+// Keyword tables. Order matters: the first matching type wins, and the
+// sets are built to be disjoint over colloquial phrasing (e.g. "power
+// cycling" is erratic behaviour, "power cycle the phone" is a reboot
+// recovery).
+var typeKeywords = []struct {
+	ft   FailureType
+	keys []string
+}{
+	{Unstable, []string{
+		"erratic", "by themselves", "flaky", "wallpaper disappearing",
+		"backlight flashing", "power cycling",
+	}},
+	{Freeze, []string{
+		"freez", "frozen", "locks up", "lock up", "screen stuck", "hangs",
+		"unresponsive", "won't respond",
+	}},
+	{SelfShutdown, []string{
+		"shuts down by itself", "turns itself off", "powers off on its own",
+		"random power-off", "screen goes black and it is off",
+	}},
+	{OutputFail, []string{
+		"charge indicator", "volume is different", "wrong time",
+		"output is wrong", "reminders go off",
+	}},
+	{InputFail, []string{
+		"soft keys", "keypad presses", "no effect", "inputs are ignored",
+		"buttons does nothing",
+	}},
+}
+
+func classifyType(text string) (FailureType, bool) {
+	for _, tk := range typeKeywords {
+		for _, k := range tk.keys {
+			if strings.Contains(text, k) {
+				return tk.ft, true
+			}
+		}
+	}
+	return "", false
+}
+
+var recoveryKeywords = []struct {
+	rec  Recovery
+	keys []string
+}{
+	{RecService, []string{
+		"service center", "master reset", "flash new firmware",
+		"for service", "replaced the handset",
+	}},
+	{RecBattery, []string{
+		"pulling the battery", "battery out", "battery removal",
+	}},
+	{RecReboot, []string{
+		"a reboot fixes", "power cycle the phone", "turning it off and on",
+	}},
+	{RecWait, []string{
+		"after waiting", "i just wait",
+	}},
+	{RecRepeat, []string{
+		"repeat the action", "doing it again",
+	}},
+}
+
+func classifyRecovery(text string) Recovery {
+	for _, rk := range recoveryKeywords {
+		for _, k := range rk.keys {
+			if strings.Contains(text, k) {
+				return rk.rec
+			}
+		}
+	}
+	return RecUnreported
+}
+
+var activityKeywords = []struct {
+	tag  ActivityTag
+	keys []string
+}{
+	{ActCall, []string{"voice call", "middle of a call"}},
+	{ActText, []string{"text message", "sms"}},
+	{ActBluetooth, []string{"bluetooth"}},
+	{ActImages, []string{"manipulating images", "browsing my pictures"}},
+}
+
+func classifyActivity(text string) ActivityTag {
+	for _, ak := range activityKeywords {
+		for _, k := range ak.keys {
+			if strings.Contains(text, k) {
+				return ak.tag
+			}
+		}
+	}
+	return ActNone
+}

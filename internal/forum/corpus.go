@@ -1,0 +1,406 @@
+// Package forum reproduces the paper's preliminary study (section 4): a
+// high-level failure characterisation of mobile phones from publicly
+// available web-forum posts. The original 533 reports (January 2003 –
+// March 2006, howardforums.com and friends) are not available, so the
+// package generates a synthetic corpus with the same joint structure —
+// free-format posts, a minority of which are failure reports — and then
+// runs the full pipeline the paper implies: filter the failure reports,
+// classify failure type / user-initiated recovery / severity / activity,
+// and tabulate Table 1 and the section 4.1 marginals.
+//
+// The generator and the classifier are deliberately decoupled: the
+// generator writes varied colloquial text from a vocabulary, and the
+// classifier recovers labels with keyword rules, so the pipeline is a real
+// text-classification exercise rather than a bookkeeping identity.
+package forum
+
+import (
+	"fmt"
+	"strings"
+
+	"symfail/internal/sim"
+)
+
+// FailureType is the high-level failure manifestation of section 4.
+type FailureType string
+
+// Failure types (the taxonomy of Avizienis et al. / Bondavalli-Simoncini
+// citations are in the paper).
+const (
+	Freeze       FailureType = "freeze"
+	SelfShutdown FailureType = "self-shutdown"
+	Unstable     FailureType = "unstable-behavior"
+	OutputFail   FailureType = "output-failure"
+	InputFail    FailureType = "input-failure"
+)
+
+// Recovery is the user-initiated recovery action of section 4.
+type Recovery string
+
+// Recovery actions.
+const (
+	RecRepeat     Recovery = "repeat"
+	RecWait       Recovery = "wait"
+	RecReboot     Recovery = "reboot"
+	RecBattery    Recovery = "battery-removal"
+	RecService    Recovery = "service-phone"
+	RecUnreported Recovery = "unreported"
+)
+
+// Severity grades the difficulty of recovery, from the user's perspective.
+type Severity string
+
+// Severity levels.
+const (
+	SevHigh    Severity = "high"   // service personnel needed
+	SevMedium  Severity = "medium" // reboot or battery removal
+	SevLow     Severity = "low"    // repeating or waiting was enough
+	SevUnknown Severity = "unknown"
+)
+
+// SeverityOf maps a recovery action to the paper's severity level.
+func SeverityOf(r Recovery) Severity {
+	switch r {
+	case RecService:
+		return SevHigh
+	case RecReboot, RecBattery:
+		return SevMedium
+	case RecRepeat, RecWait:
+		return SevLow
+	default:
+		return SevUnknown
+	}
+}
+
+// ActivityTag is the user activity mentioned in a report (section 4.1).
+type ActivityTag string
+
+// Activity tags with nonzero correlation in the paper.
+const (
+	ActNone      ActivityTag = ""
+	ActCall      ActivityTag = "voice-call"
+	ActText      ActivityTag = "text-message"
+	ActBluetooth ActivityTag = "bluetooth"
+	ActImages    ActivityTag = "images"
+)
+
+// Post is one forum post. Failure reports carry hidden ground-truth labels
+// (unexported from the classifier's point of view; tests use them to score
+// classification accuracy).
+type Post struct {
+	ID     int
+	Forum  string
+	Vendor string
+	Model  string
+	Smart  bool // a smart phone, as opposed to voice-centric/rich-experience
+	Text   string
+
+	// Ground truth, set only for generated failure reports.
+	IsFailure    bool
+	TrueType     FailureType
+	TrueRecovery Recovery
+	TrueActivity ActivityTag
+}
+
+// Table1Target is the joint failure-type × recovery distribution of the
+// paper's Table 1, in percent of the total number of failures.
+var Table1Target = map[FailureType]map[Recovery]float64{
+	Freeze:       {RecReboot: 2.36, RecBattery: 9.01, RecWait: 4.29, RecRepeat: 0, RecService: 3.65, RecUnreported: 6.01},
+	OutputFail:   {RecReboot: 8.80, RecBattery: 0.43, RecWait: 0.64, RecRepeat: 5.79, RecService: 6.87, RecUnreported: 13.73},
+	SelfShutdown: {RecReboot: 0, RecBattery: 2.15, RecWait: 0.43, RecRepeat: 0, RecService: 6.65, RecUnreported: 7.73},
+	Unstable:     {RecReboot: 1.72, RecBattery: 0.21, RecWait: 0.21, RecRepeat: 0.64, RecService: 6.87, RecUnreported: 8.80},
+	InputFail:    {RecReboot: 0.64, RecBattery: 0.21, RecWait: 0, RecRepeat: 0.64, RecService: 0.64, RecUnreported: 0.86},
+}
+
+// Activity mention probabilities (section 4.1: 13% voice calls, 5.4% text
+// messages, 3.6% Bluetooth, 2.4% images).
+var activityTarget = []struct {
+	tag ActivityTag
+	p   float64
+}{
+	{ActCall, 0.13},
+	{ActText, 0.054},
+	{ActBluetooth, 0.036},
+	{ActImages, 0.024},
+}
+
+// SmartPhoneShare is the fraction of failure reports from smart phones
+// (22.3% in the paper, against a 6.3% market share).
+const SmartPhoneShare = 0.223
+
+// GeneratorConfig shapes a synthetic corpus.
+type GeneratorConfig struct {
+	Seed uint64
+	// FailureReports is the number of failure reports (533 in the paper).
+	FailureReports int
+	// NoisePosts is the number of non-failure posts interleaved (forum
+	// chatter the filter must reject).
+	NoisePosts int
+}
+
+// DefaultGeneratorConfig matches the paper's report count with a realistic
+// amount of chatter around it.
+func DefaultGeneratorConfig(seed uint64) GeneratorConfig {
+	return GeneratorConfig{Seed: seed, FailureReports: 533, NoisePosts: 3500}
+}
+
+var (
+	forums = []string{"howardforums.com", "cellphoneforums.net", "phonescoop.com", "mobiledia.com"}
+
+	// Vendor -> (voice/rich models, smart models). Vendor mix follows the
+	// paper's enumeration.
+	vendors = []struct {
+		name   string
+		plain  []string
+		smart  []string
+		weight float64
+	}{
+		{"Nokia", []string{"3310", "6230", "2600"}, []string{"6600", "N70", "6680"}, 26},
+		{"Motorola", []string{"RAZR V3", "C650"}, []string{"A1000"}, 22},
+		{"Samsung", []string{"E700", "X480"}, []string{"SGH-D730"}, 16},
+		{"Sony-Ericsson", []string{"T610", "K700i"}, []string{"P910i"}, 14},
+		{"LG", []string{"U8180", "C1100"}, nil, 8},
+		{"Kyocera", []string{"KX414"}, nil, 3},
+		{"Audiovox", []string{"CDM-8900"}, nil, 3},
+		{"HP", nil, []string{"iPAQ h6315"}, 2},
+		{"Blackberry", nil, []string{"7290"}, 3},
+		{"Handspring", nil, []string{"Treo 600"}, 2},
+		{"Danger", nil, []string{"Hiptop"}, 1},
+	}
+)
+
+// Generate produces the synthetic corpus: failure reports drawn from the
+// Table 1 joint distribution plus noise posts, shuffled deterministically.
+func Generate(cfg GeneratorConfig) []Post {
+	r := sim.NewRand(cfg.Seed)
+	posts := make([]Post, 0, cfg.FailureReports+cfg.NoisePosts)
+
+	// Flatten the joint target for weighted sampling.
+	type cell struct {
+		ft  FailureType
+		rec Recovery
+		w   float64
+	}
+	var cells []cell
+	for _, ft := range []FailureType{Freeze, OutputFail, SelfShutdown, Unstable, InputFail} {
+		for _, rec := range []Recovery{RecReboot, RecBattery, RecWait, RecRepeat, RecService, RecUnreported} {
+			if w := Table1Target[ft][rec]; w > 0 {
+				cells = append(cells, cell{ft, rec, w})
+			}
+		}
+	}
+	weights := make([]float64, len(cells))
+	for i, c := range cells {
+		weights[i] = c.w
+	}
+
+	for i := 0; i < cfg.FailureReports; i++ {
+		c := cells[r.WeightedIndex(weights)]
+		act := pickActivity(r)
+		vendor, model, smart := pickPhone(r)
+		posts = append(posts, Post{
+			Forum:        forums[r.Intn(len(forums))],
+			Vendor:       vendor,
+			Model:        model,
+			Smart:        smart,
+			Text:         failureText(r, c.ft, c.rec, act, vendor, model),
+			IsFailure:    true,
+			TrueType:     c.ft,
+			TrueRecovery: c.rec,
+			TrueActivity: act,
+		})
+	}
+	for i := 0; i < cfg.NoisePosts; i++ {
+		vendor, model, smart := pickPhone(r)
+		posts = append(posts, Post{
+			Forum:  forums[r.Intn(len(forums))],
+			Vendor: vendor,
+			Model:  model,
+			Smart:  smart,
+			Text:   noiseText(r, vendor, model),
+		})
+	}
+	r.Shuffle(len(posts), func(i, j int) { posts[i], posts[j] = posts[j], posts[i] })
+	for i := range posts {
+		posts[i].ID = i + 1
+	}
+	return posts
+}
+
+func pickActivity(r *sim.Rand) ActivityTag {
+	x := r.Float64()
+	for _, a := range activityTarget {
+		if x < a.p {
+			return a.tag
+		}
+		x -= a.p
+	}
+	return ActNone
+}
+
+func pickPhone(r *sim.Rand) (vendor, model string, smart bool) {
+	weights := make([]float64, len(vendors))
+	for i, v := range vendors {
+		weights[i] = v.weight
+	}
+	smart = r.Bool(SmartPhoneShare)
+	// Re-draw until the vendor has a model of the wanted class.
+	for {
+		v := vendors[r.WeightedIndex(weights)]
+		pool := v.plain
+		if smart {
+			pool = v.smart
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		return v.name, pool[r.Intn(len(pool))], smart
+	}
+}
+
+// Text generation ---------------------------------------------------------
+
+func pickStr(r *sim.Rand, options []string) string {
+	return options[r.Intn(len(options))]
+}
+
+var typePhrases = map[FailureType][]string{
+	Freeze: {
+		"the phone freezes and stays frozen",
+		"my %s locks up completely, screen stuck",
+		"it just froze, totally unresponsive",
+		"handset hangs and won't respond to anything",
+	},
+	SelfShutdown: {
+		"the phone shuts down by itself",
+		"my %s turns itself off randomly",
+		"it powers off on its own for no reason",
+		"random power-off, screen goes black and it is off",
+	},
+	Unstable: {
+		"weird erratic behavior, backlight flashing on its own",
+		"apps keep launching by themselves, really flaky",
+		"random wallpaper disappearing and power cycling, looks like ui memory leaks",
+		"it behaves erratically without me touching it",
+	},
+	OutputFail: {
+		"the charge indicator is totally inaccurate",
+		"ring volume is different from what i configured",
+		"event reminders go off at the wrong time",
+		"the output is wrong: wrong ringtone, wrong volume, wrong time",
+	},
+	InputFail: {
+		"the soft keys do not work at all",
+		"keypad presses have no effect on the phone",
+		"pressing buttons does nothing, inputs are ignored",
+	},
+}
+
+var recoveryPhrases = map[Recovery][]string{
+	RecRepeat: {
+		"if i repeat the action it eventually works",
+		"doing it again usually gets it working, seems transient",
+	},
+	RecWait: {
+		"after waiting a while it came back on its own",
+		"i just wait some minutes and it starts responding again",
+	},
+	RecReboot: {
+		"a reboot fixes it until the next time",
+		"i have to power cycle the phone to get it back",
+		"turning it off and on again restores it",
+	},
+	RecBattery: {
+		"only pulling the battery out brings it back",
+		"i have to take the battery out because the power button does nothing",
+		"battery removal is the only thing that works",
+	},
+	RecService: {
+		"took it to the service center, they did a master reset",
+		"the shop had to flash new firmware to fix it",
+		"sent it in for service, they replaced the handset",
+	},
+}
+
+var activityPhrases = map[ActivityTag][]string{
+	ActCall:      {"it happens during a voice call", "always in the middle of a call"},
+	ActText:      {"whenever i try to write a text message", "happens while sending an sms"},
+	ActBluetooth: {"while using bluetooth to send files", "during a bluetooth transfer"},
+	ActImages:    {"when manipulating images from the camera", "while browsing my pictures"},
+}
+
+var (
+	openers = []string{
+		"hi all,", "hey folks,", "long time lurker here.", "ok so,",
+		"posting from work,", "first post, be gentle.",
+	}
+	closers = []string{
+		"anyone else seeing this? is it a known bug?",
+		"any help appreciated!!", "cheers.", "tia.",
+		"should i return it while it is under warranty?",
+	}
+)
+
+func failureText(r *sim.Rand, ft FailureType, rec Recovery, act ActivityTag, vendor, model string) string {
+	var parts []string
+	if r.Bool(0.4) {
+		parts = append(parts, pickStr(r, openers))
+	}
+	parts = append(parts, fmt.Sprintf("just got a %s %s a few months ago.", vendor, model))
+	tp := pickStr(r, typePhrases[ft])
+	if strings.Contains(tp, "%s") {
+		tp = fmt.Sprintf(tp, model)
+	}
+	parts = append(parts, tp+".")
+	if act != ActNone {
+		parts = append(parts, pickStr(r, activityPhrases[act])+".")
+	}
+	if rec != RecUnreported {
+		parts = append(parts, pickStr(r, recoveryPhrases[rec])+".")
+	}
+	if r.Bool(0.25) {
+		parts = append(parts, pickStr(r, closers))
+	}
+	text := strings.Join(parts, " ")
+	// Forum text is messy: occasional shouting and fat-fingered typos. The
+	// classifier has to live with a small induced error rate, like the
+	// paper's human coders did.
+	if r.Bool(0.04) {
+		text = strings.ToUpper(text)
+	}
+	if r.Bool(0.03) {
+		text = swapTypo(r, text)
+	}
+	return text
+}
+
+// swapTypo transposes two adjacent letters in one random word.
+func swapTypo(r *sim.Rand, text string) string {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return text
+	}
+	i := r.Intn(len(words))
+	w := []byte(words[i])
+	if len(w) >= 3 {
+		j := 1 + r.Intn(len(w)-2)
+		w[j], w[j+1] = w[j+1], w[j]
+		words[i] = string(w)
+	}
+	return strings.Join(words, " ")
+}
+
+var noiseTemplates = []string{
+	"what is the best ringtone site for a %s %s? thanks",
+	"thinking of upgrading from my %s %s, any recommendations?",
+	"how do i transfer contacts to my new %s %s?",
+	"the camera on the %s %s takes great pictures in daylight",
+	"anyone know when the %s %s firmware update ships? just curious",
+	"selling my %s %s, mint condition, pm me",
+	"which case do you use for the %s %s?",
+	"battery life on the %s %s is about two days for me, normal usage",
+}
+
+func noiseText(r *sim.Rand, vendor, model string) string {
+	return fmt.Sprintf(pickStr(r, noiseTemplates), vendor, model)
+}

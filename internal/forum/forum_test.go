@@ -1,0 +1,292 @@
+package forum
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"symfail/internal/sim"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := DefaultGeneratorConfig(1)
+	posts := Generate(cfg)
+	if len(posts) != cfg.FailureReports+cfg.NoisePosts {
+		t.Fatalf("posts = %d", len(posts))
+	}
+	failures := 0
+	for _, p := range posts {
+		if p.IsFailure {
+			failures++
+		}
+		if p.Vendor == "" || p.Model == "" || p.Text == "" || p.Forum == "" {
+			t.Fatalf("incomplete post: %+v", p)
+		}
+	}
+	if failures != cfg.FailureReports {
+		t.Errorf("failure reports = %d", failures)
+	}
+	// IDs are unique and sequential.
+	seen := make(map[int]bool)
+	for _, p := range posts {
+		if p.ID <= 0 || p.ID > len(posts) || seen[p.ID] {
+			t.Fatalf("bad ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGeneratorConfig(7))
+	b := Generate(DefaultGeneratorConfig(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("post %d diverged", i)
+		}
+	}
+	c := Generate(DefaultGeneratorConfig(8))
+	same := 0
+	for i := range a {
+		if a[i].Text == c[i].Text {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestClassifierAccuracy(t *testing.T) {
+	posts := Generate(DefaultGeneratorConfig(3))
+	acc := ClassificationAccuracy(posts)
+	if acc < 0.97 {
+		t.Errorf("classification accuracy = %.3f, want >= 0.97", acc)
+	}
+}
+
+func TestClassifyExamplesFromPaper(t *testing.T) {
+	// The two verbatim user reports quoted in section 4.
+	c := Classify(Post{Text: "the phone freezes whenever I try to write a text message, and stays frozen until I take the battery out"})
+	if !c.IsFailure || c.Type != Freeze || c.Recovery != RecBattery || c.Activity != ActText {
+		t.Errorf("paper example 1 = %+v", c)
+	}
+	if c.Severity != SevMedium {
+		t.Errorf("severity = %v", c.Severity)
+	}
+	c = Classify(Post{Text: "the phone exhibits random wallpaper disappearing and power cycling, due to UI memory leaks"})
+	if !c.IsFailure || c.Type != Unstable {
+		t.Errorf("paper example 2 = %+v", c)
+	}
+}
+
+func TestClassifyNoiseRejected(t *testing.T) {
+	c := Classify(Post{Text: "battery life on the Nokia 3310 is about two days for me, normal usage"})
+	if c.IsFailure {
+		t.Error("noise post classified as failure")
+	}
+	if Classify(Post{Text: ""}).IsFailure {
+		t.Error("empty post classified as failure")
+	}
+}
+
+func TestSeverityOf(t *testing.T) {
+	cases := map[Recovery]Severity{
+		RecService:    SevHigh,
+		RecReboot:     SevMedium,
+		RecBattery:    SevMedium,
+		RecRepeat:     SevLow,
+		RecWait:       SevLow,
+		RecUnreported: SevUnknown,
+	}
+	for rec, want := range cases {
+		if got := SeverityOf(rec); got != want {
+			t.Errorf("SeverityOf(%s) = %s, want %s", rec, got, want)
+		}
+	}
+}
+
+func TestTable1TargetSumsTo100(t *testing.T) {
+	var total float64
+	for _, recs := range Table1Target {
+		for _, v := range recs {
+			total += v
+		}
+	}
+	if math.Abs(total-100) > 0.2 {
+		t.Errorf("Table 1 target sums to %v", total)
+	}
+}
+
+func TestAnalyzeReproducesTable1Shape(t *testing.T) {
+	posts := Generate(DefaultGeneratorConfig(5))
+	rep := Analyze(posts)
+	if rep.PostsScanned != len(posts) {
+		t.Errorf("scanned = %d", rep.PostsScanned)
+	}
+	if rep.FailureReports < 500 || rep.FailureReports > 560 {
+		t.Errorf("failure reports = %d, want ~533", rep.FailureReports)
+	}
+	// Marginals within a few points of the paper (sampling noise).
+	wantTypes := map[FailureType]float64{
+		OutputFail:   36.3,
+		Freeze:       25.3,
+		Unstable:     18.5,
+		SelfShutdown: 16.9,
+		InputFail:    3.0,
+	}
+	for ft, want := range wantTypes {
+		got := rep.TypePercent[ft]
+		if math.Abs(got-want) > 5 {
+			t.Errorf("%s = %.1f%%, want ~%.1f%%", ft, got, want)
+		}
+	}
+	order := rep.TypesByFrequency()
+	if order[0] != OutputFail || order[len(order)-1] != InputFail {
+		t.Errorf("frequency order = %v", order)
+	}
+	// Joint cells near target for the big cells.
+	if got := rep.JointPercent[Freeze][RecBattery]; math.Abs(got-9.01) > 3.5 {
+		t.Errorf("freeze/battery = %.2f, want ~9.01", got)
+	}
+	if got := rep.JointPercent[OutputFail][RecReboot]; math.Abs(got-8.80) > 3.5 {
+		t.Errorf("output/reboot = %.2f, want ~8.80", got)
+	}
+	// Joint percentages sum to 100.
+	var total float64
+	for _, recs := range rep.JointPercent {
+		for _, v := range recs {
+			total += v
+		}
+	}
+	if math.Abs(total-100) > 0.01 {
+		t.Errorf("joint percent total = %v", total)
+	}
+}
+
+func TestAnalyzeSeverityAndActivity(t *testing.T) {
+	rep := Analyze(Generate(DefaultGeneratorConfig(9)))
+	// Severity: medium = reboot+battery ~25%, high = service ~24.7%.
+	if got := rep.SeverityPercent[SevHigh]; math.Abs(got-24.7) > 5 {
+		t.Errorf("high severity = %.1f%%", got)
+	}
+	if got := rep.SeverityPercent[SevMedium]; math.Abs(got-25.1) > 5 {
+		t.Errorf("medium severity = %.1f%%", got)
+	}
+	// Activity correlations of section 4.1.
+	if got := rep.ActivityPercent[ActCall]; math.Abs(got-13) > 4 {
+		t.Errorf("voice-call correlation = %.1f%%, want ~13%%", got)
+	}
+	if got := rep.ActivityPercent[ActText]; math.Abs(got-5.4) > 3 {
+		t.Errorf("text correlation = %.1f%%, want ~5.4%%", got)
+	}
+	// Smart phones over-represented relative to their 6.3% market share.
+	if rep.SmartShare < 0.15 || rep.SmartShare > 0.30 {
+		t.Errorf("smart share = %.3f, want ~0.223", rep.SmartShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.FailureReports != 0 || rep.PostsScanned != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	if ClassificationAccuracy(nil) != 0 {
+		t.Error("accuracy of empty corpus should be 0")
+	}
+}
+
+func TestSmartPhonesGetSmartModels(t *testing.T) {
+	posts := Generate(DefaultGeneratorConfig(11))
+	smartModels := map[string]bool{}
+	for _, v := range vendors {
+		for _, m := range v.smart {
+			smartModels[m] = true
+		}
+	}
+	for _, p := range posts {
+		if p.Smart && !smartModels[p.Model] {
+			t.Fatalf("smart post with non-smart model %q", p.Model)
+		}
+		if !p.Smart && smartModels[p.Model] {
+			t.Fatalf("non-smart post with smart model %q", p.Model)
+		}
+	}
+}
+
+func TestFailureTextMentionsRecoveryUnlessUnreported(t *testing.T) {
+	posts := Generate(GeneratorConfig{Seed: 13, FailureReports: 300})
+	for _, p := range posts {
+		if !p.IsFailure {
+			continue
+		}
+		got := Classify(p)
+		if p.TrueRecovery == RecUnreported && got.Recovery != RecUnreported {
+			t.Errorf("unreported post classified as %s: %q", got.Recovery, p.Text)
+		}
+	}
+}
+
+func TestCorpusTextIsColloquialNotLabels(t *testing.T) {
+	// The generator must not leak label strings into the text.
+	posts := Generate(GeneratorConfig{Seed: 17, FailureReports: 100, NoisePosts: 50})
+	for _, p := range posts {
+		lower := strings.ToLower(p.Text)
+		for _, label := range []string{"output-failure", "self-shutdown", "unstable-behavior", "recunreported"} {
+			if strings.Contains(lower, label) {
+				t.Fatalf("label %q leaked into text: %q", label, p.Text)
+			}
+		}
+	}
+}
+
+func TestClassifierRobustToCase(t *testing.T) {
+	c := Classify(Post{Text: "THE PHONE FREEZES AND STAYS FROZEN. ONLY PULLING THE BATTERY OUT BRINGS IT BACK."})
+	if !c.IsFailure || c.Type != Freeze || c.Recovery != RecBattery {
+		t.Errorf("uppercase post = %+v", c)
+	}
+}
+
+func TestClassifierAccuracyAcrossSeedsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		posts := Generate(GeneratorConfig{Seed: seed, FailureReports: 150, NoisePosts: 80})
+		return ClassificationAccuracy(posts) >= 0.93
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapTypoPreservesWordCount(t *testing.T) {
+	r := sim.NewRand(1)
+	text := "the quick brown fox jumps"
+	for i := 0; i < 100; i++ {
+		mutated := swapTypo(r, text)
+		if len(strings.Fields(mutated)) != 5 {
+			t.Fatalf("word count changed: %q", mutated)
+		}
+	}
+	if swapTypo(r, "") != "" {
+		t.Error("empty text mutated")
+	}
+}
+
+func TestVendorBreakdownCoversMajorVendors(t *testing.T) {
+	rep := Analyze(Generate(DefaultGeneratorConfig(19)))
+	var total float64
+	for _, pct := range rep.VendorPercent {
+		total += pct
+	}
+	if math.Abs(total-100) > 0.01 {
+		t.Errorf("vendor percentages sum to %v", total)
+	}
+	// All of the paper's major vendors must appear.
+	for _, v := range []string{"Nokia", "Motorola", "Samsung", "Sony-Ericsson", "LG"} {
+		if rep.VendorPercent[v] <= 0 {
+			t.Errorf("vendor %s missing from breakdown", v)
+		}
+	}
+	if rep.VendorPercent["Nokia"] < rep.VendorPercent["Danger"] {
+		t.Error("vendor weighting inverted")
+	}
+}

@@ -1,0 +1,130 @@
+package forum
+
+import "sort"
+
+// FailureTypes lists the failure types in the paper's frequency order.
+var FailureTypes = []FailureType{OutputFail, Freeze, Unstable, SelfShutdown, InputFail}
+
+// Recoveries lists the recovery actions in Table 1's column order.
+var Recoveries = []Recovery{RecReboot, RecBattery, RecWait, RecRepeat, RecService, RecUnreported}
+
+// Report is the outcome of running the section 4 pipeline over a corpus.
+type Report struct {
+	PostsScanned   int
+	FailureReports int
+
+	// Joint counts and percentages: Table 1.
+	Joint        map[FailureType]map[Recovery]int
+	JointPercent map[FailureType]map[Recovery]float64
+
+	// Marginals of section 4.1.
+	TypePercent     map[FailureType]float64
+	RecoveryPercent map[Recovery]float64
+	SeverityPercent map[Severity]float64
+	// ActivityPercent is the share of failures correlated to an activity.
+	ActivityPercent map[ActivityTag]float64
+	// SmartShare is the share of failure reports from smart phones.
+	SmartShare float64
+	// VendorPercent is each vendor's share of the failure reports —
+	// section 4.1 lists "phone models from all major vendors".
+	VendorPercent map[string]float64
+}
+
+// Analyze filters and classifies a corpus and tabulates the study.
+func Analyze(posts []Post) *Report {
+	rep := &Report{
+		PostsScanned:    len(posts),
+		Joint:           make(map[FailureType]map[Recovery]int),
+		JointPercent:    make(map[FailureType]map[Recovery]float64),
+		TypePercent:     make(map[FailureType]float64),
+		RecoveryPercent: make(map[Recovery]float64),
+		SeverityPercent: make(map[Severity]float64),
+		ActivityPercent: make(map[ActivityTag]float64),
+		VendorPercent:   make(map[string]float64),
+	}
+	for _, ft := range FailureTypes {
+		rep.Joint[ft] = make(map[Recovery]int)
+		rep.JointPercent[ft] = make(map[Recovery]float64)
+	}
+	smart := 0
+	for _, p := range posts {
+		c := Classify(p)
+		if !c.IsFailure {
+			continue
+		}
+		rep.FailureReports++
+		rep.Joint[c.Type][c.Recovery]++
+		rep.TypePercent[c.Type]++
+		rep.RecoveryPercent[c.Recovery]++
+		rep.SeverityPercent[c.Severity]++
+		if c.Activity != ActNone {
+			rep.ActivityPercent[c.Activity]++
+		}
+		if p.Smart {
+			smart++
+		}
+		rep.VendorPercent[p.Vendor]++
+	}
+	if rep.FailureReports == 0 {
+		return rep
+	}
+	n := float64(rep.FailureReports)
+	for ft, recs := range rep.Joint {
+		for rec, c := range recs {
+			rep.JointPercent[ft][rec] = 100 * float64(c) / n
+		}
+	}
+	scale := func(m map[FailureType]float64) {
+		for k := range m {
+			m[k] = 100 * m[k] / n
+		}
+	}
+	scale(rep.TypePercent)
+	for k := range rep.RecoveryPercent {
+		rep.RecoveryPercent[k] = 100 * rep.RecoveryPercent[k] / n
+	}
+	for k := range rep.SeverityPercent {
+		rep.SeverityPercent[k] = 100 * rep.SeverityPercent[k] / n
+	}
+	for k := range rep.ActivityPercent {
+		rep.ActivityPercent[k] = 100 * rep.ActivityPercent[k] / n
+	}
+	for k := range rep.VendorPercent {
+		rep.VendorPercent[k] = 100 * rep.VendorPercent[k] / n
+	}
+	rep.SmartShare = float64(smart) / n
+	return rep
+}
+
+// TypesByFrequency returns the failure types sorted by descending share —
+// the paper's ordering is output > freeze > unstable > self-shutdown >
+// input.
+func (r *Report) TypesByFrequency() []FailureType {
+	out := append([]FailureType(nil), FailureTypes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return r.TypePercent[out[i]] > r.TypePercent[out[j]]
+	})
+	return out
+}
+
+// ClassificationAccuracy scores the classifier against the generator's
+// ground truth: the fraction of posts whose filter decision, type and
+// recovery all match. Used by tests and reported in EXPERIMENTS.md.
+func ClassificationAccuracy(posts []Post) float64 {
+	if len(posts) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range posts {
+		c := Classify(p)
+		switch {
+		case !p.IsFailure:
+			if !c.IsFailure {
+				correct++
+			}
+		case c.IsFailure && c.Type == p.TrueType && c.Recovery == p.TrueRecovery:
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(posts))
+}

@@ -1,0 +1,91 @@
+package phone
+
+import (
+	"testing"
+	"time"
+
+	"symfail/internal/sim"
+)
+
+// BenchmarkDeviceMonth measures the cost of simulating one phone-month of
+// workload (no logger installed).
+func BenchmarkDeviceMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		d := NewDevice("bench", eng, DefaultConfig(uint64(i+1)))
+		d.Enroll(sim.Epoch)
+		if err := eng.Run(sim.Epoch.Add(30 * 24 * time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		d.Finalize()
+	}
+}
+
+// BenchmarkFleetMonth measures a 25-phone fleet month on one engine.
+func BenchmarkFleetMonth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fl := NewFleet(FleetConfig{
+			Seed:       uint64(i + 1),
+			Phones:     25,
+			Duration:   StudyMonth,
+			JoinWindow: 0,
+		})
+		if err := fl.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(25, "phone-months/op")
+}
+
+// BenchmarkBootShutdownCycle measures the device lifecycle machinery.
+func BenchmarkBootShutdownCycle(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(1)
+	cfg.ActivitiesPerDay = 0.0001
+	cfg.PanicOpportunityPerHour = 0
+	cfg.SpontaneousFreezePerHour = 0
+	cfg.SpontaneousShutdownPerHour = 0
+	cfg.OutputFailurePerHour = 0
+	cfg.NightOffProb = 0
+	cfg.DayOffPerHour = 0
+	d := NewDevice("cycle", eng, cfg)
+	d.Enroll(sim.Epoch)
+	eng.Step()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Shutdown(ReasonUser, time.Minute)
+		if err := eng.Run(eng.Now().Add(2 * time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if d.BootCount() < b.N {
+		b.Fatalf("boots = %d", d.BootCount())
+	}
+}
+
+// BenchmarkFaultTrigger measures one end-to-end defect trigger (injection,
+// panic raise, recovery policy).
+func BenchmarkFaultTrigger(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(1)
+	cfg.BurstProb = 0
+	d := NewDevice("fault", eng, cfg)
+	d.Enroll(sim.Epoch)
+	eng.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.faults.trigger()
+		// Bounded drain: the workload perpetually reschedules itself, so a
+		// full drain would never terminate.
+		if err := eng.Run(eng.Now().Add(time.Second)); err != nil {
+			b.Fatal(err)
+		}
+		if d.State() != StateOn {
+			// An HL outcome took the phone down; let it come back.
+			if err := eng.Run(eng.Now().Add(12 * time.Hour)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

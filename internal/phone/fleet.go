@@ -1,0 +1,128 @@
+package phone
+
+import (
+	"fmt"
+	"time"
+
+	"symfail/internal/sim"
+)
+
+// FleetConfig shapes a deployment of instrumented phones — the paper's
+// study ran 25 phones for 14 months, with phones joining progressively
+// from September 2005.
+type FleetConfig struct {
+	// Seed drives enrolment staggering and derives per-device seeds.
+	Seed uint64
+	// Phones is the number of devices (25 in the paper).
+	Phones int
+	// Duration is the observation window (14 months in the paper).
+	Duration time.Duration
+	// JoinWindow is the span over which phones join the study; a phone
+	// joining late is observed for less time, like the paper's
+	// progressively-deployed loggers.
+	JoinWindow time.Duration
+	// Device optionally customises the per-device calibration; when nil,
+	// DefaultConfig is used with a derived seed and a persona drawn from
+	// the default mix (set UniformPersonas to suppress the draw).
+	Device func(seed uint64) Config
+	// UniformPersonas keeps every default-config device on the balanced
+	// persona (used by tests that pin rates).
+	UniformPersonas bool
+}
+
+// DefaultFleetConfig mirrors the paper's deployment.
+func DefaultFleetConfig(seed uint64) FleetConfig {
+	return FleetConfig{
+		Seed:       seed,
+		Phones:     25,
+		Duration:   StudyDuration,
+		JoinWindow: 9 * StudyMonth,
+	}
+}
+
+// Fleet is a set of enrolled devices sharing one discrete-event engine.
+type Fleet struct {
+	Engine  *sim.Engine
+	Devices []*Device
+	cfg     FleetConfig
+}
+
+// osVersionMix reflects the study deployment: Symbian 6.1 to 8.0 or 9.0,
+// with the majority on 8.0.
+var osVersionMix = []struct {
+	version string
+	weight  float64
+}{
+	{"6.1", 12},
+	{"7.0", 16},
+	{"8.0", 56},
+	{"9.0", 16},
+}
+
+// NewFleet builds and enrols the devices (phones join at deterministic,
+// seed-derived offsets inside the join window). Call Run to simulate.
+func NewFleet(cfg FleetConfig) *Fleet {
+	if cfg.Phones <= 0 {
+		panic("phone: fleet needs at least one phone")
+	}
+	eng := sim.NewEngine()
+	r := sim.NewRand(cfg.Seed)
+	fl := &Fleet{Engine: eng, cfg: cfg}
+	for i := 0; i < cfg.Phones; i++ {
+		devSeed := r.Uint64()
+		devCfg := DefaultConfig(devSeed)
+		if cfg.Device != nil {
+			devCfg = cfg.Device(devSeed)
+		} else if !cfg.UniformPersonas {
+			weights := make([]float64, len(personaMix))
+			for j, pm := range personaMix {
+				weights[j] = pm.w
+			}
+			ApplyPersona(&devCfg, personaMix[r.WeightedIndex(weights)].p)
+		}
+		if devCfg.OSVersion == "" || devCfg.OSVersion == "8.0" {
+			weights := make([]float64, len(osVersionMix))
+			for j, v := range osVersionMix {
+				weights[j] = v.weight
+			}
+			devCfg.OSVersion = osVersionMix[r.WeightedIndex(weights)].version
+		}
+		d := NewDevice(fmt.Sprintf("phone-%02d", i+1), eng, devCfg)
+		var join time.Duration
+		if cfg.JoinWindow > 0 {
+			join = time.Duration(r.Float64() * float64(cfg.JoinWindow))
+		}
+		d.Enroll(sim.Epoch.Add(join))
+		fl.Devices = append(fl.Devices, d)
+	}
+	return fl
+}
+
+// Run simulates the whole observation window and finalises every device.
+func (f *Fleet) Run() error {
+	if err := f.Engine.Run(sim.Epoch.Add(f.cfg.Duration)); err != nil {
+		return err
+	}
+	for _, d := range f.Devices {
+		d.Finalize()
+	}
+	return nil
+}
+
+// ObservedHours sums powered-on hours across the fleet.
+func (f *Fleet) ObservedHours() float64 {
+	var total float64
+	for _, d := range f.Devices {
+		total += d.Oracle().ObservedHours
+	}
+	return total
+}
+
+// TruthFailures sums ground-truth freezes and self-shutdowns.
+func (f *Fleet) TruthFailures() int {
+	n := 0
+	for _, d := range f.Devices {
+		n += d.Oracle().Failures()
+	}
+	return n
+}

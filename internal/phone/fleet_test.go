@@ -1,0 +1,375 @@
+package phone
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"symfail/internal/symbos"
+)
+
+// runSmallFleet simulates a reduced fleet (enough events for shape
+// assertions, fast enough for unit tests).
+func runSmallFleet(t *testing.T, seed uint64) *Fleet {
+	t.Helper()
+	cfg := FleetConfig{
+		Seed:       seed,
+		Phones:     8,
+		Duration:   4 * StudyMonth,
+		JoinWindow: StudyMonth,
+	}
+	fl := NewFleet(cfg)
+	if err := fl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := runSmallFleet(t, 99)
+	b := runSmallFleet(t, 99)
+	if a.ObservedHours() != b.ObservedHours() {
+		t.Errorf("observed hours diverged: %v vs %v", a.ObservedHours(), b.ObservedHours())
+	}
+	if a.TruthFailures() != b.TruthFailures() {
+		t.Errorf("failures diverged: %d vs %d", a.TruthFailures(), b.TruthFailures())
+	}
+	for i := range a.Devices {
+		pa, pb := a.Devices[i].Oracle().PanicCount(), b.Devices[i].Oracle().PanicCount()
+		if pa != pb {
+			t.Errorf("device %d panic counts diverged: %d vs %d", i, pa, pb)
+		}
+	}
+}
+
+func TestFleetSeedsDiffer(t *testing.T) {
+	a := runSmallFleet(t, 1)
+	b := runSmallFleet(t, 2)
+	if a.TruthFailures() == b.TruthFailures() && a.ObservedHours() == b.ObservedHours() {
+		t.Error("different seeds produced identical fleets (suspicious)")
+	}
+}
+
+func TestFleetFailureRatesInPaperBallpark(t *testing.T) {
+	fl := runSmallFleet(t, 7)
+	hours := fl.ObservedHours()
+	if hours < 1000 {
+		t.Fatalf("observed hours = %v, fleet barely ran", hours)
+	}
+	var freezes, shutdowns int
+	for _, d := range fl.Devices {
+		freezes += d.Oracle().Count(TruthFreeze)
+		shutdowns += d.Oracle().Count(TruthSelfShutdown)
+	}
+	if freezes == 0 || shutdowns == 0 {
+		t.Fatalf("no failures at all (freezes=%d shutdowns=%d)", freezes, shutdowns)
+	}
+	mtbfr := hours / float64(freezes)
+	mtbs := hours / float64(shutdowns)
+	// The paper reports MTBFr = 313 h and MTBS = 250 h. A small fleet is
+	// noisy; assert the right order of magnitude and the right ordering
+	// (self-shutdowns more frequent than freezes).
+	if mtbfr < 150 || mtbfr > 650 {
+		t.Errorf("MTBFr = %.0f h, want within [150, 650] (paper: 313)", mtbfr)
+	}
+	if mtbs < 120 || mtbs > 520 {
+		t.Errorf("MTBS = %.0f h, want within [120, 520] (paper: 250)", mtbs)
+	}
+	if mtbs >= mtbfr {
+		t.Errorf("MTBS (%.0f) should be below MTBFr (%.0f): self-shutdowns are more frequent", mtbs, mtbfr)
+	}
+}
+
+func TestFleetPanicMixShape(t *testing.T) {
+	fl := runSmallFleet(t, 11)
+	counts := make(map[string]int)
+	total := 0
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			counts[p.Panic.Key()]++
+			total++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d panics; too few to check the mix", total)
+	}
+	ke3 := float64(counts["KERN-EXEC 3"]) / float64(total)
+	if ke3 < 0.35 || ke3 > 0.75 {
+		t.Errorf("KERN-EXEC 3 share = %.2f, want dominant (~0.56)", ke3)
+	}
+	// KERN-EXEC 3 must dominate every other category, as in Table 2.
+	for k, c := range counts {
+		if k != "KERN-EXEC 3" && c > counts["KERN-EXEC 3"] {
+			t.Errorf("%s (%d) out-counts KERN-EXEC 3 (%d)", k, c, counts["KERN-EXEC 3"])
+		}
+	}
+	// Heap-management panics (E32USER-CBase) should be the second large
+	// block, ~18% in the paper.
+	var cbase int
+	for k, c := range counts {
+		if len(k) > 13 && k[:13] == "E32USER-CBase" {
+			cbase += c
+		}
+	}
+	share := float64(cbase) / float64(total)
+	if share < 0.06 || share > 0.40 {
+		t.Errorf("E32USER-CBase share = %.2f, want ~0.18", share)
+	}
+}
+
+func TestFleetActivityContextConstraints(t *testing.T) {
+	fl := runSmallFleet(t, 13)
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			key := p.Panic.Key()
+			switch key {
+			case "USER 10", "USER 11", "ViewSrv 11":
+				if !p.Burst && p.Activity != ActVoiceCall {
+					t.Errorf("%s outside a voice call (activity %s)", key, p.Activity)
+				}
+			case "Phone.app 2":
+				if !p.Burst && p.Activity != ActMessage {
+					t.Errorf("%s outside messaging (activity %s)", key, p.Activity)
+				}
+			}
+		}
+	}
+}
+
+func TestFleetBurstsExist(t *testing.T) {
+	fl := runSmallFleet(t, 17)
+	var bursts, total int
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			total++
+			if p.Burst {
+				bursts++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no panics")
+	}
+	share := float64(bursts) / float64(total)
+	// Followers alone should be a visible minority (paper: ~25% of panics
+	// sit in cascades of two or more, so followers are ~15%).
+	if share <= 0.01 || share >= 0.5 {
+		t.Errorf("burst-follower share = %.3f, want a visible minority", share)
+	}
+}
+
+func TestFleetRebootDurationBimodality(t *testing.T) {
+	fl := runSmallFleet(t, 19)
+	var selfOff, nightOff []float64
+	for _, d := range fl.Devices {
+		events := d.Oracle().Events
+		for i, e := range events {
+			var next *TruthEvent
+			for j := i + 1; j < len(events); j++ {
+				if events[j].Kind == TruthBoot {
+					next = &events[j]
+					break
+				}
+			}
+			if next == nil {
+				continue
+			}
+			off := next.Time.Sub(e.Time).Seconds()
+			switch {
+			case e.Kind == TruthSelfShutdown:
+				selfOff = append(selfOff, off)
+			case e.Kind == TruthUserShutdown && e.Cause == "night":
+				nightOff = append(nightOff, off)
+			}
+		}
+	}
+	if len(selfOff) < 10 || len(nightOff) < 5 {
+		t.Fatalf("too few events: self=%d night=%d", len(selfOff), len(nightOff))
+	}
+	medianSelf := median(selfOff)
+	medianNight := median(nightOff)
+	if medianSelf < 30 || medianSelf > 250 {
+		t.Errorf("self-shutdown off median = %.0f s, want ~80 s", medianSelf)
+	}
+	if math.Abs(medianNight-30000) > 9000 {
+		t.Errorf("night off median = %.0f s, want ~30000 s", medianNight)
+	}
+	// The 360 s threshold should separate the populations almost cleanly.
+	var selfAbove, nightBelow int
+	for _, v := range selfOff {
+		if v > 360 {
+			selfAbove++
+		}
+	}
+	for _, v := range nightOff {
+		if v < 360 {
+			nightBelow++
+		}
+	}
+	if frac := float64(selfAbove) / float64(len(selfOff)); frac > 0.05 {
+		t.Errorf("%.1f%% of self-shutdown offs exceed 360 s", 100*frac)
+	}
+	if nightBelow > 0 {
+		t.Errorf("%d night offs below 360 s", nightBelow)
+	}
+}
+
+func TestFleetRunningAppsModeIsSmall(t *testing.T) {
+	fl := runSmallFleet(t, 23)
+	counts := make(map[int]int)
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			counts[len(p.Apps)]++
+		}
+	}
+	mode, best := -1, 0
+	for n, c := range counts {
+		if c > best {
+			mode, best = n, c
+		}
+	}
+	if mode > 2 {
+		t.Errorf("mode of running-apps-at-panic = %d, paper observes mostly one", mode)
+	}
+}
+
+func TestFleetUptimeAccounting(t *testing.T) {
+	fl := runSmallFleet(t, 29)
+	for _, d := range fl.Devices {
+		obs := d.Oracle().ObservedHours
+		window := StudyDuration.Hours() // upper bound
+		if obs <= 0 || obs > window {
+			t.Errorf("%s observed %v h, outside (0, %v]", d.ID(), obs, window)
+		}
+		// Phones are mostly on: observed time should be a large share of
+		// the enrolment window.
+		enrolled := 4*StudyMonth.Hours() - d.EnrolledAt().Hours()
+		if obs < 0.5*enrolled {
+			t.Errorf("%s observed %.0f h of %.0f enrolled, suspiciously low", d.ID(), obs, enrolled)
+		}
+	}
+}
+
+func TestActivityRiskConcentratesPanics(t *testing.T) {
+	fl := runSmallFleet(t, 31)
+	var during, total int
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			total++
+			if p.Activity == ActVoiceCall || p.Activity == ActMessage {
+				during++
+			}
+		}
+	}
+	if total < 20 {
+		t.Fatalf("too few panics: %d", total)
+	}
+	share := float64(during) / float64(total)
+	// Paper: ~45% of panics during calls/messages, despite those being a
+	// tiny share of wall-clock time.
+	if share < 0.20 || share > 0.75 {
+		t.Errorf("call/message panic share = %.2f, want ~0.45", share)
+	}
+}
+
+func TestHiddenShellNeverInOracleApps(t *testing.T) {
+	fl := runSmallFleet(t, 37)
+	for _, d := range fl.Devices {
+		for _, p := range d.Oracle().Panics {
+			for _, a := range p.Apps {
+				if a == "Shell" {
+					t.Fatal("shell leaked into the running-apps snapshot")
+				}
+			}
+		}
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+var _ = time.Second
+var _ = symbos.KErrNone
+
+func TestApplyPersonaScalesRates(t *testing.T) {
+	base := DefaultConfig(1)
+	for _, p := range []Persona{PersonaCaller, PersonaTexter, PersonaLight, PersonaPower} {
+		cfg := DefaultConfig(1)
+		ApplyPersona(&cfg, p)
+		if cfg.Persona != p {
+			t.Errorf("persona not recorded: %q", cfg.Persona)
+		}
+		if cfg.ActivitiesPerDay == base.ActivitiesPerDay {
+			t.Errorf("%s did not change activity rate", p)
+		}
+		if cfg.NightOffProb > 1 || cfg.LingerProb > 1 {
+			t.Errorf("%s pushed a probability beyond 1: %+v", p, cfg)
+		}
+	}
+	cfg := DefaultConfig(1)
+	ApplyPersona(&cfg, Persona("unknown"))
+	if cfg.Persona != PersonaBalanced {
+		t.Errorf("unknown persona mapped to %q", cfg.Persona)
+	}
+	if cfg.ActivitiesPerDay != base.ActivitiesPerDay {
+		t.Error("balanced persona changed rates")
+	}
+}
+
+func TestFleetDrawsMixedPersonas(t *testing.T) {
+	fl := NewFleet(FleetConfig{Seed: 5, Phones: 40, Duration: time.Hour, JoinWindow: 0})
+	personas := make(map[Persona]int)
+	for _, d := range fl.Devices {
+		personas[d.Config().Persona]++
+	}
+	if len(personas) < 3 {
+		t.Errorf("only %d personas drawn across 40 phones: %v", len(personas), personas)
+	}
+	uniform := NewFleet(FleetConfig{Seed: 5, Phones: 10, Duration: time.Hour, JoinWindow: 0, UniformPersonas: true})
+	for _, d := range uniform.Devices {
+		if p := d.Config().Persona; p != "" && p != PersonaBalanced {
+			t.Errorf("uniform fleet drew persona %q", p)
+		}
+	}
+}
+
+func TestPersonasIncreaseDispersion(t *testing.T) {
+	run := func(uniform bool) float64 {
+		fl := NewFleet(FleetConfig{
+			Seed: 9, Phones: 16, Duration: 5 * StudyMonth, JoinWindow: 0,
+			UniformPersonas: uniform,
+		})
+		if err := fl.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Coefficient of variation of per-device failure rates.
+		var rates []float64
+		for _, d := range fl.Devices {
+			if d.Oracle().ObservedHours > 0 {
+				rates = append(rates, float64(d.Oracle().Failures())/d.Oracle().ObservedHours)
+			}
+		}
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		mean := sum / float64(len(rates))
+		var ss float64
+		for _, r := range rates {
+			ss += (r - mean) * (r - mean)
+		}
+		return math.Sqrt(ss/float64(len(rates))) / mean
+	}
+	mixed := run(false)
+	uniform := run(true)
+	if mixed <= uniform*0.9 {
+		t.Errorf("persona mix did not increase dispersion: mixed CV %.3f vs uniform %.3f", mixed, uniform)
+	}
+}

@@ -1,0 +1,87 @@
+package phone
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FS is the phone's flash filesystem. It persists across reboots, freezes
+// and battery pulls — which is precisely why the paper's logger can infer a
+// freeze at the next boot: the last heartbeat record survives on flash.
+type FS struct {
+	files  map[string][]byte
+	writes uint64
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string][]byte)}
+}
+
+// Write replaces the contents of path.
+func (f *FS) Write(path string, data []byte) {
+	f.files[path] = append([]byte(nil), data...)
+	f.writes++
+}
+
+// Append adds data to the end of path, creating it if needed.
+func (f *FS) Append(path string, data []byte) {
+	f.files[path] = append(f.files[path], data...)
+	f.writes++
+}
+
+// Read returns the contents of path and whether it exists. The returned
+// slice is a copy; callers cannot corrupt the stored file.
+func (f *FS) Read(path string) ([]byte, bool) {
+	data, ok := f.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Delete removes path (missing paths are fine).
+func (f *FS) Delete(path string) { delete(f.files, path) }
+
+// Exists reports whether path is present.
+func (f *FS) Exists(path string) bool {
+	_, ok := f.files[path]
+	return ok
+}
+
+// Size returns the length of path in bytes (0 when missing).
+func (f *FS) Size(path string) int { return len(f.files[path]) }
+
+// TotalSize returns the number of bytes stored across all files.
+func (f *FS) TotalSize() int {
+	total := 0
+	for _, d := range f.files {
+		total += len(d)
+	}
+	return total
+}
+
+// Writes returns the cumulative number of write operations (flash wear).
+func (f *FS) Writes() uint64 { return f.writes }
+
+// List returns all paths in lexical order.
+func (f *FS) List() []string {
+	out := make([]string, 0, len(f.files))
+	for p := range f.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MasterReset wipes the filesystem — the "all settings are reset to the
+// factory settings and the user's content is removed" recovery action the
+// forum study describes for service-centre visits.
+func (f *FS) MasterReset() {
+	f.files = make(map[string][]byte)
+}
+
+// String summarises the filesystem for diagnostics.
+func (f *FS) String() string {
+	return fmt.Sprintf("fs{files=%d bytes=%d writes=%d}", len(f.files), f.TotalSize(), f.writes)
+}

@@ -1,0 +1,82 @@
+package phone
+
+import (
+	"symfail/internal/sim"
+	"symfail/internal/symbos"
+)
+
+// TruthKind labels ground-truth events recorded by the simulator oracle.
+type TruthKind string
+
+// Ground-truth event kinds.
+const (
+	TruthBoot         TruthKind = "boot"
+	TruthFreeze       TruthKind = "freeze"
+	TruthSelfShutdown TruthKind = "self-shutdown"
+	TruthUserShutdown TruthKind = "user-shutdown"
+	TruthLowBattery   TruthKind = "low-battery"
+	TruthLoggerOff    TruthKind = "logger-off"
+	TruthBatteryPull  TruthKind = "battery-pull"
+	// TruthOutputFailure is a value failure (wrong output delivered in
+	// response to an input): the failure class the paper's logger cannot
+	// detect automatically and defers to future work (section 7).
+	TruthOutputFailure TruthKind = "output-failure"
+	// TruthServiceVisit is a trip to the service centre: a master reset
+	// wipes the flash (including the logger's files) and a firmware
+	// update reduces subsequent failure rates (section 4, "service the
+	// phone").
+	TruthServiceVisit TruthKind = "service-visit"
+)
+
+// TruthEvent is one ground-truth record.
+type TruthEvent struct {
+	Kind     TruthKind
+	Time     sim.Time
+	Cause    string   // e.g. "panic KERN-EXEC 3" or "spontaneous"
+	Activity Activity // user activity when the event happened
+}
+
+// TruthPanic is a panic with the simulator's ground-truth context attached.
+type TruthPanic struct {
+	Panic    symbos.Panic
+	Activity Activity
+	Apps     []string // user-visible applications running at panic time
+	Burst    bool     // part of a propagation cascade (not the primary)
+}
+
+// Oracle records what actually happened on a device, independent of the
+// logger. The paper had no oracle — the logger was all they had — but the
+// simulation keeps one so that tests can measure the logger's detection
+// accuracy and the analysis pipeline can be validated against truth.
+type Oracle struct {
+	Events []TruthEvent
+	Panics []TruthPanic
+
+	// ObservedHours accumulates powered-on time (the denominator of the
+	// MTBF estimates).
+	ObservedHours float64
+}
+
+func (o *Oracle) record(kind TruthKind, at sim.Time, cause string, act Activity) {
+	o.Events = append(o.Events, TruthEvent{Kind: kind, Time: at, Cause: cause, Activity: act})
+}
+
+// Count returns the number of ground-truth events of a kind.
+func (o *Oracle) Count(kind TruthKind) int {
+	n := 0
+	for _, e := range o.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// PanicCount returns the number of ground-truth panics.
+func (o *Oracle) PanicCount() int { return len(o.Panics) }
+
+// Failures returns the ground-truth freezes plus self-shutdowns — the
+// user-perceived failures whose MTBF the paper reports.
+func (o *Oracle) Failures() int {
+	return o.Count(TruthFreeze) + o.Count(TruthSelfShutdown)
+}

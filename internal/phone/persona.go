@@ -1,0 +1,70 @@
+package phone
+
+// Persona captures per-user heterogeneity: the study's 25 phones belonged
+// to students, researchers and professors whose usage differed widely.
+// A persona scales the balanced calibration; the fleet draws personas so
+// aggregate rates stay near the calibrated mean while per-device failure
+// rates disperse realistically (see analysis.MTBFDispersion).
+type Persona string
+
+// Personas.
+const (
+	PersonaBalanced Persona = "balanced"
+	PersonaCaller   Persona = "caller" // lives on the phone, mostly voice
+	PersonaTexter   Persona = "texter" // heavy messaging, lighter calls
+	PersonaLight    Persona = "light"  // rare use, phone often off at night
+	PersonaPower    Persona = "power"  // heavy everything, experiments with apps
+)
+
+// personaMix weighs the personas in a default fleet. The scales are chosen
+// so the weighted means stay close to 1.0 on every axis.
+var personaMix = []struct {
+	p Persona
+	w float64
+}{
+	{PersonaBalanced, 36},
+	{PersonaCaller, 18},
+	{PersonaTexter, 18},
+	{PersonaLight, 14},
+	{PersonaPower, 14},
+}
+
+// ApplyPersona rescales a balanced config in place.
+func ApplyPersona(cfg *Config, p Persona) {
+	cfg.Persona = p
+	switch p {
+	case PersonaCaller:
+		cfg.ActivitiesPerDay *= 1.25
+		cfg.ActivityMix[ActVoiceCall] *= 1.8
+		cfg.ActivityMix[ActMessage] *= 0.7
+		cfg.NightOffProb *= 0.8
+	case PersonaTexter:
+		cfg.ActivitiesPerDay *= 1.15
+		cfg.ActivityMix[ActVoiceCall] *= 0.6
+		cfg.ActivityMix[ActMessage] *= 1.9
+	case PersonaLight:
+		cfg.ActivitiesPerDay *= 0.55
+		cfg.NightOffProb = minF(1, cfg.NightOffProb*2.2)
+		cfg.PanicOpportunityPerHour *= 0.8
+		cfg.SpontaneousFreezePerHour *= 0.85
+		cfg.SpontaneousShutdownPerHour *= 0.85
+	case PersonaPower:
+		cfg.ActivitiesPerDay *= 1.5
+		cfg.ActivityMix[ActCamera] *= 1.6
+		cfg.ActivityMix[ActBluetooth] *= 1.8
+		cfg.ActivityMix[ActNav] *= 1.7
+		cfg.PanicOpportunityPerHour *= 1.3
+		cfg.SpontaneousFreezePerHour *= 1.2
+		cfg.SpontaneousShutdownPerHour *= 1.2
+		cfg.LingerProb = minF(1, cfg.LingerProb*1.6)
+	default:
+		cfg.Persona = PersonaBalanced
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

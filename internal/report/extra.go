@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"symfail/internal/analysis"
+	"symfail/internal/core"
+)
+
+// Extras renders the beyond-the-paper analyses: freeze downtimes, panic
+// lead times, and per-device failure-rate dispersion.
+func Extras(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Extras — analyses beyond the paper\n")
+
+	fd := s.FreezeDowntimes()
+	fmt.Fprintf(&b, "freeze outages (%d): median %.0f s, p90 %.0f s, max %.0f s\n",
+		fd.Count, fd.MedianSeconds, fd.P90Seconds, fd.MaxSeconds)
+
+	lt := s.PanicLeadTimes()
+	fmt.Fprintf(&b, "panic-to-failure lead time (%d related): median %.0f s, p90 %.0f s\n",
+		lt.Count, lt.MedianSeconds, lt.P90Seconds)
+
+	fmt.Fprintf(&b, "per-device failure-rate dispersion (CV): %.2f\n", s.MTBFDispersion())
+	per := s.PerDeviceMTBF()
+	sort.Slice(per, func(i, j int) bool { return per[i].Device < per[j].Device })
+	var rows [][]string
+	for _, d := range per {
+		mtbf := "-"
+		if d.MTBFHours > 0 {
+			mtbf = fmt.Sprintf("%.0f", d.MTBFHours)
+		}
+		rows = append(rows, []string{
+			d.Device, fmt.Sprintf("%.0f", d.Hours),
+			fmt.Sprintf("%d", d.Freezes), fmt.Sprintf("%d", d.SelfShutdowns), mtbf,
+		})
+	}
+	b.WriteString(Table("", []string{"device", "hours", "freezes", "self-shut", "MTBF h"}, rows))
+	return b.String()
+}
+
+// UserReportSummary renders the output-failure reports captured by the
+// core.UserReporter extension.
+func UserReportSummary(dataset map[string][]core.Record, truthOutputFailures int) string {
+	st := analysis.UserReports(dataset)
+	var b strings.Builder
+	b.WriteString("Extension — user-reported output failures (section 7 future work)\n")
+	fmt.Fprintf(&b, "reports collected: %d", st.Reports)
+	if truthOutputFailures > 0 {
+		fmt.Fprintf(&b, " of %d ground-truth output failures (%.0f%% coverage)",
+			truthOutputFailures, 100*float64(st.Reports)/float64(truthOutputFailures))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "median failure-to-report delay: %v\n", st.MedianReportDelay)
+	details := make([]string, 0, len(st.ByDetail))
+	for d := range st.ByDetail {
+		details = append(details, d)
+	}
+	sort.Strings(details)
+	for _, d := range details {
+		fmt.Fprintf(&b, "  %-40s %d\n", d, st.ByDetail[d])
+	}
+	return b.String()
+}
+
+// VersionTable renders the per-OS-version breakdown.
+func VersionTable(s *analysis.Study, dataset map[string][]core.Record) string {
+	rows := s.VersionBreakdown(analysis.DeviceVersions(dataset))
+	var out [][]string
+	for _, v := range rows {
+		out = append(out, []string{
+			v.Version,
+			fmt.Sprintf("%d", v.Devices),
+			fmt.Sprintf("%.0f", v.Hours),
+			fmt.Sprintf("%d", v.Panics),
+			fmt.Sprintf("%d", v.Freezes),
+			fmt.Sprintf("%d", v.SelfShutdowns),
+		})
+	}
+	return Table("Per-OS-version breakdown (deployment mix of section 6)",
+		[]string{"Symbian", "phones", "hours", "panics", "freezes", "self-shut"}, out)
+}
+
+// Predictor renders the early-warning policy evaluation: the paper's
+// Figure 5 coupling turned into an online alarm, scored against the data.
+func Predictor(s *analysis.Study) string {
+	var b strings.Builder
+	b.WriteString("Extension — panic-based failure prediction\n")
+	cfg := analysis.DefaultPredictorConfig()
+	rep := s.EvaluatePredictor(cfg)
+	fmt.Fprintf(&b, "policy: alarm on %v, horizon %v\n", cfg.AlarmCategories, cfg.Horizon)
+	fmt.Fprintf(&b, "alarms %d, precision %.2f, recall %.2f, median warning %.0f s\n",
+		rep.Alarms, rep.Precision, rep.Recall, rep.MedianWarningSeconds)
+	b.WriteString("horizon sweep (precision / recall):\n")
+	horizons := []time.Duration{time.Minute, 5 * time.Minute, 15 * time.Minute, time.Hour}
+	for i, r := range s.PredictorSweep(cfg.AlarmCategories, horizons) {
+		fmt.Fprintf(&b, "  %-8v p=%.2f r=%.2f\n", horizons[i], r.Precision, r.Recall)
+	}
+	return b.String()
+}
+
+// ExpFit renders the inter-failure goodness-of-fit test with a bootstrap
+// confidence interval on the mean.
+func ExpFit(s *analysis.Study) string {
+	fit := s.InterFailureExpFit()
+	var b strings.Builder
+	b.WriteString("Extension — inter-failure time distribution\n")
+	if fit.N == 0 {
+		b.WriteString("no inter-failure intervals\n")
+		return b.String()
+	}
+	verdict := "rejected"
+	if fit.PassesKS {
+		verdict = "not rejected"
+	}
+	fmt.Fprintf(&b, "intervals %d, mean %.0f h; KS D=%.4f (5%% critical %.4f): exponential hypothesis %s\n",
+		fit.N, fit.MeanHours, fit.KS, fit.KSCritical05, verdict)
+	if lo, hi := s.BootstrapCI(1000, 2007); hi > 0 {
+		fmt.Fprintf(&b, "bootstrap 95%% CI for the mean inter-failure time: [%.0f, %.0f] h\n", lo, hi)
+	}
+	return b.String()
+}
+
+// SeasonalityChart renders the diurnal failure distribution.
+func SeasonalityChart(s *analysis.Study) string {
+	sea := s.FailureSeasonality()
+	var b strings.Builder
+	b.WriteString("Extension — failure seasonality (hour of day)\n")
+	max := 0
+	for _, c := range sea.ByHour {
+		if c > max {
+			max = c
+		}
+	}
+	for h, c := range sea.ByHour {
+		fmt.Fprintf(&b, "%02d:00 %5d %s\n", h, c, Bar(float64(c), float64(max), 40))
+	}
+	fmt.Fprintf(&b, "weekday failures/day %.2f, weekend %.2f\n", sea.WeekdayPerDay, sea.WeekendPerDay)
+	return b.String()
+}

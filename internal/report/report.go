@@ -1,0 +1,105 @@
+// Package report renders the reproduction's tables and figures as aligned
+// text, one renderer per table/figure of the paper. The cmd tools and the
+// benchmark harness print these.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders an aligned ASCII table.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a percentage the way the paper's tables do.
+func Pct(v float64) string {
+	if v == 0 {
+		return "."
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Bar renders a proportional hash bar.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// IntHistogram renders a map[int]int distribution (e.g. Figure 3's burst
+// sizes, Figure 6's running applications) with percentage bars.
+func IntHistogram(title, xlabel string, counts map[int]int, width int) string {
+	keys := make([]int, 0, len(counts))
+	total := 0
+	for k, v := range counts {
+		keys = append(keys, k)
+		total += v
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	max := 0
+	for _, v := range counts {
+		if v > max {
+			max = v
+		}
+	}
+	for _, k := range keys {
+		v := counts[k]
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(&b, "%s=%-4d %6d (%5.1f%%) %s\n", xlabel, k, v, pct, Bar(float64(v), float64(max), width))
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Duration aliases time.Duration so that sim-facing code can express delays
+// without importing both packages.
+type Duration = time.Duration
+
+// ErrStopped is returned by Engine.Run when Stop was called before the run
+// limit was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. Handles returned by the scheduling methods
+// can be used to cancel the event before it fires.
+type Event struct {
+	when   Time
+	seq    uint64 // tie-break so equal-time events fire in schedule order
+	index  int    // heap index, -1 once fired or cancelled
+	fn     func()
+	label  string
+	cancel bool
+}
+
+// When returns the instant the event is (or was) scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Pending reports whether the event is still waiting to fire.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the simulation is deterministic precisely because exactly
+// one goroutine advances it.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose clock reads Epoch.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// At schedules fn to run at instant t. Scheduling in the past (before Now)
+// is an error in the model, so it fires immediately at the current time
+// instead of silently rewinding the clock.
+func (e *Engine) At(t Time, label string, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, label string, fn func()) *Event {
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op. It reports whether the event was actually cancelled.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step fires the next event, advancing the clock to its timestamp.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.cancel {
+		return e.Step()
+	}
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, the clock passes until, or
+// Stop is called. The clock is left at min(until, last event time); if the
+// queue drained first, the clock is advanced to until so that callers can
+// reason about "the simulation covered [0, until)".
+func (e *Engine) Run(until Time) error {
+	e.stopped = false
+	for {
+		if e.stopped {
+			return ErrStopped
+		}
+		if e.queue.Len() == 0 {
+			if e.now < until {
+				e.now = until
+			}
+			return nil
+		}
+		next := e.queue[0].when
+		if next > until {
+			e.now = until
+			return nil
+		}
+		e.Step()
+	}
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() error {
+	e.stopped = false
+	for e.Step() {
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Stop halts a Run in progress after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// String summarises engine state for diagnostics.
+func (e *Engine) String() string {
+	return fmt.Sprintf("engine{now=%s pending=%d fired=%d}", e.now, e.queue.Len(), e.fired)
+}
+
+// eventQueue implements container/heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

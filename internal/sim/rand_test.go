@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsIndependent(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between seed 1 and seed 2 streams", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d of 10 values seen", len(seen))
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandBoolExtremes(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRandBoolFrequency(t *testing.T) {
+	r := NewRand(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", got)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestRandExpDurationPositive(t *testing.T) {
+	r := NewRand(17)
+	for i := 0; i < 10000; i++ {
+		if d := r.ExpDuration(time.Hour); d < 0 {
+			t.Fatalf("negative exponential duration %v", d)
+		}
+	}
+}
+
+func TestRandNormMoments(t *testing.T) {
+	r := NewRand(19)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Norm stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestRandNormDurationClamp(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 10000; i++ {
+		if d := r.NormDuration(time.Second, 10*time.Second, 0); d < 0 {
+			t.Fatalf("NormDuration below clamp: %v", d)
+		}
+	}
+}
+
+func TestRandLogNormalMedian(t *testing.T) {
+	r := NewRand(29)
+	samples := make([]float64, 0, 50001)
+	for i := 0; i < 50001; i++ {
+		samples = append(samples, r.LogNormal(80, 0.5))
+	}
+	// Median should sit near 80.
+	h := NewHistogram(0, 1000, 100)
+	for _, s := range samples {
+		h.Add(s)
+	}
+	med := h.Quantile(0.5)
+	if med < 70 || med > 90 {
+		t.Errorf("LogNormal median = %v, want ~80", med)
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(31)
+	var sum int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.5)
+	}
+	mean := float64(sum) / n
+	// E[failures before success] = (1-p)/p = 1.
+	if math.Abs(mean-1) > 0.05 {
+		t.Errorf("Geometric(0.5) mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandGeometricExtremes(t *testing.T) {
+	r := NewRand(37)
+	if r.Geometric(1) != 0 {
+		t.Error("Geometric(1) != 0")
+	}
+	if r.Geometric(0) != 0 {
+		t.Error("Geometric(0) != 0 (degenerate guard)")
+	}
+}
+
+func TestRandWeightedIndex(t *testing.T) {
+	r := NewRand(41)
+	weights := []float64{0, 1, 3, 0}
+	counts := make([]int, len(weights))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx := r.WeightedIndex(weights)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Errorf("zero-weight indices chosen: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestRandWeightedIndexDegenerate(t *testing.T) {
+	r := NewRand(43)
+	if got := r.WeightedIndex(nil); got != -1 {
+		t.Errorf("WeightedIndex(nil) = %d", got)
+	}
+	if got := r.WeightedIndex([]float64{0, 0}); got != -1 {
+		t.Errorf("WeightedIndex(zeros) = %d", got)
+	}
+}
+
+func TestRandShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		xs := make([]int, 30)
+		for i := range xs {
+			xs[i] = i
+		}
+		r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, len(xs))
+		for _, v := range xs {
+			if v < 0 || v >= len(xs) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	parent := NewRand(55)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between parent and child streams", same)
+	}
+}

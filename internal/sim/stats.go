@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over float64 samples, with an
+// overflow bin for samples at or beyond the upper bound. It backs the
+// reproduction of the paper's Figure 2 (reboot durations), Figure 3
+// (burst lengths) and Figure 6 (running applications at panic time).
+type Histogram struct {
+	lo, hi   float64
+	binWidth float64
+	bins     []int
+	overflow int
+	under    int
+	n        int
+	sum      float64
+	samples  []float64 // retained for exact quantiles
+}
+
+// NewHistogram returns a histogram over [lo, hi) with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("sim: invalid histogram shape")
+	}
+	return &Histogram{
+		lo:       lo,
+		hi:       hi,
+		binWidth: (hi - lo) / float64(bins),
+		bins:     make([]int, bins),
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	h.sum += v
+	h.samples = append(h.samples, v)
+	switch {
+	case v < h.lo:
+		h.under++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		i := int((v - h.lo) / h.binWidth)
+		if i >= len(h.bins) { // guard against FP edge at hi
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) over the exact samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), h.samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Bin returns the count in bin i and the bin's [lo, hi) range.
+func (h *Histogram) Bin(i int) (count int, lo, hi float64) {
+	return h.bins[i], h.lo + float64(i)*h.binWidth, h.lo + float64(i+1)*h.binWidth
+}
+
+// Bins returns the number of regular bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Overflow returns the count of samples ≥ hi.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// Underflow returns the count of samples < lo.
+func (h *Histogram) Underflow() int { return h.under }
+
+// ModeBin returns the index of the fullest regular bin (-1 if empty).
+func (h *Histogram) ModeBin() int {
+	best, bestCount := -1, 0
+	for i, c := range h.bins {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// LocalMaxima returns indices of bins that are strictly fuller than both
+// neighbours and hold at least minCount samples — used to verify the
+// bimodality of the reboot-duration distribution.
+func (h *Histogram) LocalMaxima(minCount int) []int {
+	var out []int
+	for i, c := range h.bins {
+		if c < minCount {
+			continue
+		}
+		left := 0
+		if i > 0 {
+			left = h.bins[i-1]
+		}
+		right := 0
+		if i < len(h.bins)-1 {
+			right = h.bins[i+1]
+		}
+		if c > left && c >= right {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Render draws the histogram as ASCII art, width columns wide.
+func (h *Histogram) Render(width int, format func(lo, hi float64) string) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 1
+	for _, c := range h.bins {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		_, lo, hi := h.Bin(i)
+		bar := strings.Repeat("#", c*width/max)
+		label := format(lo, hi)
+		fmt.Fprintf(&b, "%-18s %6d %s\n", label, c, bar)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "%-18s %6d\n", ">= upper", h.overflow)
+	}
+	return b.String()
+}
+
+// Counter counts occurrences of string keys and reports frequencies in a
+// stable (descending count, then lexical) order.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by one.
+func (c *Counter) Add(key string) { c.AddN(key, 1) }
+
+// AddN increments key by n.
+func (c *Counter) AddN(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Count returns the count for key.
+func (c *Counter) Count(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Percent returns key's share of the total in percent (0 if empty).
+func (c *Counter) Percent(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.counts[key]) / float64(c.total)
+}
+
+// KV is a key with its count.
+type KV struct {
+	Key   string
+	Count int
+}
+
+// Sorted returns all keys ordered by descending count, ties broken
+// lexically, so output is deterministic.
+func (c *Counter) Sorted() []KV {
+	out := make([]KV, 0, len(c.counts))
+	for k, v := range c.counts {
+		out = append(out, KV{Key: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Keys returns all keys in lexical order.
+func (c *Counter) Keys() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, v := range []float64{0, 5, 9.99, 10, 55, 99.99, 100, 150, -1} {
+		h.Add(v)
+	}
+	if got, _, _ := h.Bin(0); got != 3 {
+		t.Errorf("bin 0 = %d, want 3", got)
+	}
+	if got, _, _ := h.Bin(1); got != 1 {
+		t.Errorf("bin 1 = %d, want 1", got)
+	}
+	if got, _, _ := h.Bin(5); got != 1 {
+		t.Errorf("bin 5 = %d, want 1", got)
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.N() != 9 {
+		t.Errorf("N = %d, want 9", h.N())
+	}
+}
+
+func TestHistogramBinEdges(t *testing.T) {
+	h := NewHistogram(10, 20, 5)
+	_, lo, hi := h.Bin(2)
+	if lo != 14 || hi != 16 {
+		t.Errorf("bin 2 range = [%v, %v), want [14, 16)", lo, hi)
+	}
+	if h.Bins() != 5 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramMeanQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Add(v)
+	}
+	if h.Mean() != 3 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("min = %v", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Errorf("max = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.N() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.ModeBin() != -1 {
+		t.Errorf("ModeBin of empty = %d", h.ModeBin())
+	}
+}
+
+func TestHistogramModeAndMaxima(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	// Two peaks: bin 1 (10-20) and bin 7 (70-80).
+	for i := 0; i < 30; i++ {
+		h.Add(15)
+	}
+	for i := 0; i < 20; i++ {
+		h.Add(75)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(45)
+	}
+	if h.ModeBin() != 1 {
+		t.Errorf("ModeBin = %d, want 1", h.ModeBin())
+	}
+	maxima := h.LocalMaxima(5)
+	if len(maxima) != 2 || maxima[0] != 1 || maxima[1] != 7 {
+		t.Errorf("LocalMaxima = %v, want [1 7]", maxima)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		h := NewHistogram(0, 1, 10)
+		for i := 0; i < 100; i++ {
+			h.Add(r.Float64())
+		}
+		prev := h.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(1)
+	h.Add(2)
+	h.Add(7)
+	h.Add(20)
+	out := h.Render(10, func(lo, hi float64) string { return "x" })
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if !strings.Contains(out, ">= upper") {
+		t.Errorf("render missing overflow row:\n%s", out)
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Add("a")
+	c.Add("a")
+	c.AddN("b", 3)
+	if c.Count("a") != 2 || c.Count("b") != 3 || c.Count("zzz") != 0 {
+		t.Error("counts wrong")
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if p := c.Percent("b"); p != 60 {
+		t.Errorf("Percent(b) = %v", p)
+	}
+}
+
+func TestCounterEmptyPercent(t *testing.T) {
+	c := NewCounter()
+	if c.Percent("x") != 0 {
+		t.Error("empty counter percent should be 0")
+	}
+}
+
+func TestCounterSortedStable(t *testing.T) {
+	c := NewCounter()
+	c.AddN("beta", 2)
+	c.AddN("alpha", 2)
+	c.AddN("gamma", 5)
+	got := c.Sorted()
+	if got[0].Key != "gamma" {
+		t.Errorf("first = %v", got[0])
+	}
+	if got[1].Key != "alpha" || got[2].Key != "beta" {
+		t.Errorf("tie order wrong: %v", got)
+	}
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[2] != "gamma" {
+		t.Errorf("Keys = %v", keys)
+	}
+}

@@ -1,0 +1,209 @@
+package symbos
+
+import (
+	"fmt"
+	"sort"
+
+	"symfail/internal/sim"
+)
+
+// KRequestPending is the TRequestStatus sentinel for an outstanding request.
+const KRequestPending = -0x80000001
+
+// ActiveObject is the upper level of Symbian's two-level multitasking
+// model: an event handler scheduled non-preemptively by its thread's
+// active scheduler. RunL is the event handler; RunError handles leaves
+// from RunL (returning true when handled).
+type ActiveObject struct {
+	name     string
+	priority int
+	thread   *Thread
+	active   bool
+	complete bool
+	status   int
+	runL     func(code int)
+	runError func(code int) bool
+	cost     sim.Duration
+	dead     bool
+	runs     uint64
+}
+
+// ActiveScheduler serialises the active objects of one thread. It is
+// non-preemptive and event driven: a RunL that never yields starves every
+// other active object on the thread — including the View Server's, which
+// is the mechanism behind ViewSrv 11 panics.
+type ActiveScheduler struct {
+	thread *Thread
+	aos    []*ActiveObject
+	seq    int
+	down   bool
+}
+
+func newActiveScheduler(t *Thread) *ActiveScheduler {
+	return &ActiveScheduler{thread: t}
+}
+
+// Thread returns the owning thread.
+func (s *ActiveScheduler) Thread() *Thread { return s.thread }
+
+// Len returns the number of registered active objects.
+func (s *ActiveScheduler) Len() int { return len(s.aos) }
+
+func (s *ActiveScheduler) shutdown() {
+	s.down = true
+	for _, ao := range s.aos {
+		ao.dead = true
+	}
+}
+
+// NewActiveObject registers an active object on the thread's scheduler
+// (CActiveScheduler::Add). Higher priority values run first.
+func (t *Thread) NewActiveObject(name string, priority int, runL func(code int)) *ActiveObject {
+	ao := &ActiveObject{
+		name:     name,
+		priority: priority,
+		thread:   t,
+		runL:     runL,
+	}
+	t.scheduler.aos = append(t.scheduler.aos, ao)
+	return ao
+}
+
+// Name returns the active object's name.
+func (ao *ActiveObject) Name() string { return ao.name }
+
+// Priority returns the scheduling priority.
+func (ao *ActiveObject) Priority() int { return ao.priority }
+
+// Runs returns how many times RunL has executed.
+func (ao *ActiveObject) Runs() uint64 { return ao.runs }
+
+// IsActive reports whether a request is outstanding (CActive::IsActive).
+func (ao *ActiveObject) IsActive() bool { return ao.active }
+
+// SetRunError installs the leave handler for RunL (CActive::RunError via
+// the scheduler's Error()). Without one, a leaving RunL raises
+// E32USER-CBase 47.
+func (ao *ActiveObject) SetRunError(fn func(code int) bool) { ao.runError = fn }
+
+// SetCost declares how much CPU time each RunL invocation monopolises the
+// scheduler for. Costs beyond the kernel's ViewSrvTimeout trigger the View
+// Server watchdog on watched threads.
+func (ao *ActiveObject) SetCost(d sim.Duration) { ao.cost = d }
+
+// SetActive marks the request as issued (CActive::SetActive).
+func (ao *ActiveObject) SetActive() {
+	ao.status = KRequestPending
+	ao.active = true
+}
+
+// Cancel withdraws an outstanding request (CActive::Cancel).
+func (ao *ActiveObject) Cancel() {
+	ao.active = false
+	ao.complete = false
+	ao.status = KErrNone
+}
+
+// Complete signals the request with the given code, as a service provider
+// does, and schedules the thread's active scheduler to dispatch. Completing
+// an active object that never called SetActive produces a stray signal —
+// E32USER-CBase 46 — when the scheduler wakes up.
+func (ao *ActiveObject) Complete(code int) {
+	if ao.dead {
+		return
+	}
+	ao.status = code
+	ao.complete = true
+	k := ao.thread.proc.kernel
+	k.eng.After(0, "active-scheduler "+ao.thread.name, func() {
+		k.Exec(ao.thread, "dispatch", func() {
+			ao.thread.scheduler.dispatchOne()
+		})
+	})
+}
+
+// dispatchOne runs the highest-priority completed active object, if any.
+// It executes inside a kernel Exec context.
+func (s *ActiveScheduler) dispatchOne() {
+	if s.down {
+		return
+	}
+	var ready []*ActiveObject
+	for _, ao := range s.aos {
+		if ao.complete && !ao.dead {
+			ready = append(ready, ao)
+		}
+	}
+	if len(ready) == 0 {
+		return
+	}
+	sort.SliceStable(ready, func(i, j int) bool { return ready[i].priority > ready[j].priority })
+	ao := ready[0]
+	ao.complete = false
+	if !ao.active {
+		s.thread.proc.kernel.Raise(CatE32UserCBase, TypeStraySignal,
+			fmt.Sprintf("stray signal: completion for non-active object %q", ao.name))
+	}
+	ao.active = false
+	code := ao.status
+	ao.runs++
+	k := s.thread.proc.kernel
+	if leaveCode := s.thread.Trap(func() { ao.runL(code) }); leaveCode != KErrNone {
+		handled := false
+		if ao.runError != nil {
+			handled = ao.runError(leaveCode)
+		}
+		if !handled {
+			k.Raise(CatE32UserCBase, TypeRunLLeft,
+				fmt.Sprintf("RunL of %q left with %s and Error() was not replaced", ao.name, ErrName(leaveCode)))
+		}
+	}
+	if s.thread.viewSrvWatched && ao.cost > k.ViewSrvTimeout {
+		k.Raise(CatViewSrv, TypeViewSrvStarved,
+			fmt.Sprintf("event handler %q monopolised the active scheduler for %v", ao.name, ao.cost))
+	}
+}
+
+// Timer is an asynchronous timer service (RTimer) bound to an active
+// object. Requesting a timer event while one is outstanding raises
+// KERN-EXEC 15.
+type Timer struct {
+	ao          *ActiveObject
+	ev          *sim.Event
+	outstanding bool
+}
+
+// NewTimer returns a timer completing into ao.
+func NewTimer(ao *ActiveObject) *Timer {
+	return &Timer{ao: ao}
+}
+
+// Outstanding reports whether a timer event is pending.
+func (tm *Timer) Outstanding() bool { return tm.outstanding }
+
+// After requests a timer event d from now (RTimer::After). The bound
+// active object is marked active. A second request while the first is
+// outstanding raises KERN-EXEC 15.
+func (tm *Timer) After(d sim.Duration) {
+	k := tm.ao.thread.proc.kernel
+	if tm.outstanding {
+		k.Raise(CatKernExec, TypeTimerInUse,
+			fmt.Sprintf("timer event requested by %q while one is outstanding", tm.ao.name))
+	}
+	tm.outstanding = true
+	tm.ao.SetActive()
+	tm.ev = k.eng.After(d, "rtimer "+tm.ao.name, func() {
+		tm.outstanding = false
+		tm.ao.Complete(KErrNone)
+	})
+}
+
+// Cancel withdraws the pending timer event (RTimer::Cancel).
+func (tm *Timer) Cancel() {
+	if !tm.outstanding {
+		return
+	}
+	tm.outstanding = false
+	tm.ao.thread.proc.kernel.eng.Cancel(tm.ev)
+	tm.ao.Cancel()
+}

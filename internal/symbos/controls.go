@@ -1,0 +1,115 @@
+package symbos
+
+import "fmt"
+
+// This file models the slivers of the application frameworks whose panics
+// appear in Table 2: the eikon list box (EIKON-LISTBOX), the eikon editor
+// control (EIKCOCTL), and the multimedia framework audio client
+// (MMFAudioClient).
+
+// ListBox is a CEikListBox. Using it with an invalid current item index
+// raises EIKON-LISTBOX 5; drawing it with no view defined raises
+// EIKON-LISTBOX 3.
+type ListBox struct {
+	kernel  *Kernel
+	items   []string
+	current int
+	hasView bool
+}
+
+// NewListBox returns a list box attached to a view.
+func NewListBox(k *Kernel) *ListBox {
+	return &ListBox{kernel: k, hasView: true, current: -1}
+}
+
+// AddItem appends an entry.
+func (l *ListBox) AddItem(s string) { l.items = append(l.items, s) }
+
+// Count returns the number of entries.
+func (l *ListBox) Count() int { return len(l.items) }
+
+// CurrentItem returns the selected index (-1 when nothing is selected).
+func (l *ListBox) CurrentItem() int { return l.current }
+
+// DetachView removes the list box's view (a modelled defect).
+func (l *ListBox) DetachView() { l.hasView = false }
+
+// SetCurrentItem selects index i. An index outside the item range raises
+// EIKON-LISTBOX 5.
+func (l *ListBox) SetCurrentItem(i int) {
+	if i < 0 || i >= len(l.items) {
+		l.kernel.Raise(CatEikonListbox, TypeListboxInvalidIndex,
+			fmt.Sprintf("invalid current item index %d for %d items", i, len(l.items)))
+	}
+	l.current = i
+}
+
+// Draw renders the list box. With no view defined it raises
+// EIKON-LISTBOX 3.
+func (l *ListBox) Draw() {
+	if !l.hasView {
+		l.kernel.Raise(CatEikonListbox, TypeListboxNoView,
+			"list box used with no view defined to display the object")
+	}
+}
+
+// Edwin is a CEikEdwin editor control. Inline editing with corrupted state
+// raises EIKCOCTL 70.
+type Edwin struct {
+	kernel  *Kernel
+	text    *Buf
+	inline  bool
+	corrupt bool
+}
+
+// NewEdwin returns an editor over a descriptor of the given capacity.
+func NewEdwin(k *Kernel, max int) *Edwin {
+	return &Edwin{kernel: k, text: NewBuf(k, max)}
+}
+
+// Text returns the editor's backing descriptor.
+func (e *Edwin) Text() *Buf { return e.text }
+
+// BeginInlineEdit starts an inline (predictive-input) editing transaction.
+func (e *Edwin) BeginInlineEdit() { e.inline = true }
+
+// CorruptInlineState damages the inline editing state (a modelled defect).
+func (e *Edwin) CorruptInlineState() { e.corrupt = true }
+
+// CommitInlineEdit finishes the transaction, appending s. Committing with
+// corrupt state raises EIKCOCTL 70.
+func (e *Edwin) CommitInlineEdit(s string) {
+	if !e.inline {
+		return
+	}
+	if e.corrupt {
+		e.kernel.Raise(CatEikCoCtl, TypeEdwinCorrupt,
+			"corrupt edwin state for inline editing")
+	}
+	e.text.Append(s)
+	e.inline = false
+}
+
+// AudioClient is an RMMFAudioClient handle. SetVolume with a value of 10
+// or more raises MMFAudioClient 4, exactly as the Table 2 note says.
+type AudioClient struct {
+	kernel *Kernel
+	volume int
+}
+
+// NewAudioClient returns an audio client at volume 0.
+func NewAudioClient(k *Kernel) *AudioClient {
+	return &AudioClient{kernel: k}
+}
+
+// Volume returns the current volume.
+func (a *AudioClient) Volume() int { return a.volume }
+
+// SetVolume sets the playback volume. Values >= 10 raise MMFAudioClient 4.
+func (a *AudioClient) SetVolume(v int) {
+	if v >= 10 {
+		a.kernel.Raise(CatMMFAudioClient, TypeVolumeOutOfRange,
+			fmt.Sprintf("SetVolume(%d): value is 10 or more", v))
+	}
+	a.volume = v
+}

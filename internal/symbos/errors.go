@@ -1,0 +1,55 @@
+package symbos
+
+import "fmt"
+
+// Symbian system-wide error codes used as leave codes. Only the handful the
+// simulation needs are defined.
+const (
+	KErrNone         = 0
+	KErrNotFound     = -1
+	KErrGeneral      = -2
+	KErrNoMemory     = -4
+	KErrNotSupported = -5
+	KErrArgument     = -6
+	KErrOverflow     = -9
+	KErrInUse        = -14
+	KErrServerBusy   = -16
+	KErrDisconnected = -36
+)
+
+// ErrName returns a readable name for a Symbian error code.
+func ErrName(code int) string {
+	switch code {
+	case KErrNone:
+		return "KErrNone"
+	case KErrNotFound:
+		return "KErrNotFound"
+	case KErrGeneral:
+		return "KErrGeneral"
+	case KErrNoMemory:
+		return "KErrNoMemory"
+	case KErrNotSupported:
+		return "KErrNotSupported"
+	case KErrArgument:
+		return "KErrArgument"
+	case KErrOverflow:
+		return "KErrOverflow"
+	case KErrInUse:
+		return "KErrInUse"
+	case KErrServerBusy:
+		return "KErrServerBusy"
+	case KErrDisconnected:
+		return "KErrDisconnected"
+	default:
+		return fmt.Sprintf("KErr(%d)", code)
+	}
+}
+
+// leave is the internal carrier for the Symbian "leave" control transfer
+// (the trap-leave technique the paper describes in section 2). It travels
+// as a Go panic value and is recovered exclusively by Thread.Trap.
+type leave struct {
+	code int
+}
+
+func (l leave) String() string { return "leave " + ErrName(l.code) }

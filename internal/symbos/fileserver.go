@@ -1,0 +1,134 @@
+package symbos
+
+import "strings"
+
+// The file server (F32). On Symbian every file operation is a
+// client/server request to the file server process; the paper's logger
+// persists its heartbeat and Log File through it. Modelling it as a real
+// server matters for fidelity: file I/O exercises the IPC machinery, and a
+// file-server panic is a critical-server failure (the phone reboots).
+
+// File server operation codes.
+const (
+	FsOpWrite = iota + 100
+	FsOpAppend
+	FsOpRead
+	FsOpDelete
+	FsOpExists
+)
+
+// Store is the backing medium the file server manages (the phone package's
+// flash filesystem implements it).
+type Store interface {
+	Write(path string, data []byte)
+	Append(path string, data []byte)
+	Read(path string) ([]byte, bool)
+	Delete(path string)
+	Exists(path string) bool
+}
+
+// FileServer is the F32 file server process.
+type FileServer struct {
+	srv   *Server
+	store Store
+}
+
+// NewFileServer starts the file server as a critical system server over the
+// given store.
+func NewFileServer(k *Kernel, store Store) *FileServer {
+	f := &FileServer{store: store}
+	f.srv = NewServer(k, "F32Srv", true, f.handle)
+	return f
+}
+
+// Server returns the underlying server (for process-level access).
+func (f *FileServer) Server() *Server { return f.srv }
+
+// handle serves one file request. The payload is "<path>\x00<data>" for
+// writes and "<path>" for the rest; responses carry file contents.
+func (f *FileServer) handle(m *Message) {
+	switch m.Op {
+	case FsOpWrite, FsOpAppend:
+		path, data, ok := splitPathPayload(m.Payload)
+		if !ok || path == "" {
+			m.Complete(KErrArgument)
+			return
+		}
+		if m.Op == FsOpWrite {
+			f.store.Write(path, []byte(data))
+		} else {
+			f.store.Append(path, []byte(data))
+		}
+		m.Complete(KErrNone)
+	case FsOpRead:
+		data, ok := f.store.Read(m.Payload)
+		if !ok {
+			m.Complete(KErrNotFound)
+			return
+		}
+		m.Respond(string(data))
+		m.Complete(KErrNone)
+	case FsOpDelete:
+		f.store.Delete(m.Payload)
+		m.Complete(KErrNone)
+	case FsOpExists:
+		if f.store.Exists(m.Payload) {
+			m.Complete(KErrNone)
+		} else {
+			m.Complete(KErrNotFound)
+		}
+	default:
+		m.Complete(KErrNotSupported)
+	}
+}
+
+func splitPathPayload(payload string) (path, data string, ok bool) {
+	i := strings.IndexByte(payload, 0)
+	if i < 0 {
+		return "", "", false
+	}
+	return payload[:i], payload[i+1:], true
+}
+
+// FileSession is a client connection to the file server (RFs).
+type FileSession struct {
+	sess *Session
+}
+
+// Connect opens a file-server session from the client thread
+// (RFs::Connect).
+func (f *FileServer) Connect(t *Thread) *FileSession {
+	return &FileSession{sess: f.srv.Connect(t)}
+}
+
+// WriteFile replaces path's contents.
+func (s *FileSession) WriteFile(path string, data []byte) int {
+	return s.sess.SendReceive(FsOpWrite, path+"\x00"+string(data))
+}
+
+// AppendFile adds data to the end of path.
+func (s *FileSession) AppendFile(path string, data []byte) int {
+	return s.sess.SendReceive(FsOpAppend, path+"\x00"+string(data))
+}
+
+// ReadFile returns path's contents (KErrNotFound when absent).
+func (s *FileSession) ReadFile(path string) ([]byte, int) {
+	resp, code := s.sess.Query(FsOpRead, path)
+	if code != KErrNone {
+		return nil, code
+	}
+	return []byte(resp), KErrNone
+}
+
+// DeleteFile removes path.
+func (s *FileSession) DeleteFile(path string) int {
+	return s.sess.SendReceive(FsOpDelete, path)
+}
+
+// FileExists reports whether path is present.
+func (s *FileSession) FileExists(path string) bool {
+	return s.sess.SendReceive(FsOpExists, path) == KErrNone
+}
+
+// Close releases the session.
+func (s *FileSession) Close() { s.sess.Close() }

@@ -1,0 +1,140 @@
+// Package symbos is a behavioural simulator of the Symbian OS mechanisms the
+// paper's failure study depends on: the micro-kernel object index and
+// handles, the preemptive thread / non-preemptive Active Object two-level
+// multitasking model, the heap with cleanup stack and trap-leave memory
+// management, 16-bit variant descriptors, the client/server IPC framework,
+// and — centrally — the panic machinery: every panic category and type that
+// appears in Table 2 of the paper is raised by the same API misuse that
+// raises it on a real phone (a dangling handle, an over-long descriptor
+// copy, a stray signal, ...), not by sampling a label.
+//
+// The simulator is driven entirely by virtual time (package sim); no
+// goroutines and no wall clock are involved.
+package symbos
+
+import (
+	"fmt"
+
+	"symfail/internal/sim"
+)
+
+// Category is a Symbian panic category string, as delivered to the kernel
+// alongside the panic type.
+type Category string
+
+// The panic categories observed in the paper's Table 2.
+const (
+	CatKernExec       Category = "KERN-EXEC"
+	CatKernSvr        Category = "KERN-SVR"
+	CatE32UserCBase   Category = "E32USER-CBase"
+	CatUser           Category = "USER"
+	CatViewSrv        Category = "ViewSrv"
+	CatEikonListbox   Category = "EIKON-LISTBOX"
+	CatEikCoCtl       Category = "EIKCOCTL"
+	CatPhoneApp       Category = "Phone.app"
+	CatMsgsClient     Category = "MSGS Client"
+	CatMMFAudioClient Category = "MMFAudioClient"
+)
+
+// Panic types within the categories above, named after the condition that
+// raises them. The numeric values match the Symbian OS documentation quoted
+// in the paper.
+const (
+	// KERN-EXEC types.
+	TypeBadHandle          = 0  // object not found in the object index
+	TypeUnhandledException = 3  // access violation, e.g. dereferencing NULL
+	TypeTimerInUse         = 15 // timer event requested while one outstanding
+
+	// E32USER-CBase types.
+	TypeObjectRefsRemain = 33 // CObject destroyed with non-zero ref count
+	TypeStraySignal      = 46 // completion for a non-active active object
+	TypeRunLLeft         = 47 // RunL left and Error() was not replaced
+	TypeNoTrapHandler    = 69 // cleanup stack used before CTrapCleanup::New
+	TypeCBase91          = 91 // undocumented internal CBase assertion
+	TypeCBase92          = 92 // undocumented internal CBase assertion
+
+	// USER types.
+	TypeDesIndexOutOfRange = 10 // descriptor position out of bounds
+	TypeDesOverflow        = 11 // descriptor exceeds its maximum length
+	TypeNullMessageHandle  = 70 // completing a request via null RMessagePtr
+
+	// KERN-SVR types.
+	TypeSvrBadHandle = 0 // Close() on a kernel object that cannot be found
+
+	// ViewSrv types.
+	TypeViewSrvStarved = 11 // an event handler monopolised the scheduler
+
+	// EIKON-LISTBOX types.
+	TypeListboxNoView       = 3 // no view defined to display the list box
+	TypeListboxInvalidIndex = 5 // invalid current item index
+
+	// Phone.app types.
+	TypePhoneAppInternal = 2 // undocumented telephony assertion
+
+	// EIKCOCTL types.
+	TypeEdwinCorrupt = 70 // corrupt edwin state during inline editing
+
+	// MSGS Client types.
+	TypeMsgsAsyncWrite = 3 // failed writing into an async call descriptor
+
+	// MMFAudioClient types.
+	TypeVolumeOutOfRange = 4 // SetVolume(TInt) called with value >= 10
+)
+
+// Panic is a non-recoverable error condition signalled to the kernel by a
+// user or system application, together with the context the kernel records.
+type Panic struct {
+	Category Category
+	Type     int
+	Reason   string
+	Time     sim.Time
+	Process  string // panicking process (application) name
+	Thread   string // panicking thread name
+	System   bool   // true when raised inside a system server process
+}
+
+// Error makes *Panic usable as an error at simulation boundaries.
+func (p *Panic) Error() string {
+	return fmt.Sprintf("panic %s %d in %s/%s at %s: %s",
+		p.Category, p.Type, p.Process, p.Thread, p.Time, p.Reason)
+}
+
+// Key returns the "category type" identifier used throughout the analysis,
+// e.g. "KERN-EXEC 3".
+func (p *Panic) Key() string { return PanicKey(p.Category, p.Type) }
+
+// PanicKey formats a category/type pair the way the paper's tables do.
+func PanicKey(cat Category, typ int) string { return fmt.Sprintf("%s %d", cat, typ) }
+
+// Meaning returns the Symbian OS documentation excerpt for a panic
+// category/type, as reproduced in Table 2 of the paper. Unknown pairs get
+// "not documented", which is also what the paper reports for some types.
+func Meaning(cat Category, typ int) string {
+	if m, ok := meanings[PanicKey(cat, typ)]; ok {
+		return m
+	}
+	return "not documented"
+}
+
+var meanings = map[string]string{
+	"KERN-EXEC 0":      "the Kernel Executive cannot find an object in the object index for the current process or thread using the specified object index number (the raw handle number)",
+	"KERN-EXEC 3":      "an unhandled exception occurred; the most common causes are access violations such as dereferencing NULL",
+	"KERN-EXEC 15":     "a timer event was requested from an asynchronous timer service (RTimer) while a timer event is already outstanding",
+	"E32USER-CBase 33": "raised by the destructor of a CObject when an attempt is made to delete it while the reference count is not zero",
+	"E32USER-CBase 46": "raised by an active scheduler on a stray signal",
+	"E32USER-CBase 47": "raised by the Error() virtual member function of an active scheduler when an active object's RunL() function leaves and Error() was not replaced",
+	"E32USER-CBase 69": "raised if no trap handler has been installed; in practice CTrapCleanup::New() has not been called before using the cleanup stack",
+	"USER 10":          "the position value passed to a 16-bit variant descriptor member function is out of bounds",
+	"USER 11":          "an operation moving or copying data to a 16-bit variant descriptor caused its length to exceed its maximum length",
+	"USER 70":          "attempted to complete a client/server request when the RMessagePtr is null",
+	"KERN-SVR 0":       "raised by the Kernel Server when it attempts to close a kernel object that cannot be found; the most likely cause is a corrupt handle",
+	"ViewSrv 11":       "an active object's event handler monopolised the thread's active scheduler loop and the application's ViewSrv active object could not respond in time",
+	"EIKON-LISTBOX 3":  "a listbox object from the eikon framework is used and no view is defined to display the object",
+	"EIKON-LISTBOX 5":  "a listbox object from the eikon framework is used and an invalid Current Item Index is specified",
+	"EIKCOCTL 70":      "corrupt edwin state for inline editing",
+	"MSGS Client 3":    "failed to write data into an asynchronous call descriptor to be passed back to the client",
+	"MMFAudioClient 4": "the TInt value passed to SetVolume(TInt) is 10 or more",
+	"Phone.app 2":      "not documented",
+	"E32USER-CBase 91": "not documented",
+	"E32USER-CBase 92": "not documented",
+}

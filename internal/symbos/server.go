@@ -1,0 +1,206 @@
+package symbos
+
+import "fmt"
+
+// Handler processes one client message inside the server's thread context.
+type Handler func(*Message)
+
+// Server is a Symbian system-server application: all system services are
+// provided by server processes, and clients reach them through kernel
+// message passing (section 2). A server created with system=true is a
+// critical server — the paper observes that panics in such servers reboot
+// the phone.
+type Server struct {
+	name    string
+	proc    *Process
+	handler Handler
+	served  uint64
+}
+
+// NewServer starts a server process with the given message handler.
+func NewServer(k *Kernel, name string, system bool, handler Handler) *Server {
+	proc := k.StartProcess(name, system)
+	return &Server{name: name, proc: proc, handler: handler}
+}
+
+// AdoptServer wraps an existing process as a server (used when an
+// application exposes a service from its own process).
+func AdoptServer(proc *Process, handler Handler) *Server {
+	return &Server{name: proc.name, proc: proc, handler: handler}
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Process returns the server's process.
+func (s *Server) Process() *Process { return s.proc }
+
+// Served returns the number of messages processed.
+func (s *Server) Served() uint64 { return s.served }
+
+// Message is one client/server request (RMessage). Complete answers it; a
+// null RMessagePtr raises USER 70, as does answering twice.
+type Message struct {
+	Op       int
+	Payload  string
+	Client   string
+	Response string // set by Respond before Complete
+
+	server  *Server
+	kernel  *Kernel
+	replied bool
+	nullPtr bool
+	onReply func(code int)
+}
+
+// NullifyPtr corrupts the message's RMessagePtr (a modelled defect): the
+// next Complete raises USER 70.
+func (m *Message) NullifyPtr() { m.nullPtr = true }
+
+// Respond sets the reply payload written back into the client's descriptor
+// when the request completes.
+func (m *Message) Respond(s string) { m.Response = s }
+
+// Complete answers the request with the given code.
+func (m *Message) Complete(code int) {
+	if m.nullPtr {
+		m.kernel.Raise(CatUser, TypeNullMessageHandle,
+			"completing a client/server request through a null RMessagePtr")
+	}
+	if m.replied {
+		m.kernel.Raise(CatUser, TypeNullMessageHandle,
+			fmt.Sprintf("message op %d completed twice", m.Op))
+	}
+	m.replied = true
+	m.server.served++
+	if m.onReply != nil {
+		m.onReply(code)
+	}
+}
+
+// Session is a client connection to a server, held in the client process's
+// object index like any other kernel object.
+type Session struct {
+	server *Server
+	client *Thread
+	handle Handle
+	open   bool
+}
+
+// Connect opens a session from the client thread to the server
+// (RSessionBase::CreateSession).
+func (s *Server) Connect(client *Thread) *Session {
+	h := client.proc.OpenObject("session", s.name)
+	return &Session{server: s, client: client, handle: h, open: true}
+}
+
+// Handle returns the session's raw handle in the client's object index.
+func (sess *Session) Handle() Handle { return sess.handle }
+
+// Connected reports whether the session is usable.
+func (sess *Session) Connected() bool {
+	return sess.open && sess.server.proc.alive
+}
+
+// SendReceive issues a synchronous request (RSessionBase::SendReceive).
+// The handler runs in the server's thread context; if the server panics
+// before replying, the client sees KErrDisconnected — this is how a panic
+// in one process propagates an error (not a panic) into another.
+func (sess *Session) SendReceive(op int, payload string) int {
+	k := sess.server.proc.kernel
+	if !sess.open {
+		k.Raise(CatKernExec, TypeBadHandle,
+			fmt.Sprintf("SendReceive on closed session to %q", sess.server.name))
+	}
+	if !sess.server.proc.alive {
+		return KErrDisconnected
+	}
+	m := &Message{
+		Op:      op,
+		Payload: payload,
+		Client:  sess.client.proc.name,
+		server:  sess.server,
+		kernel:  k,
+	}
+	code := KErrDisconnected
+	m.onReply = func(c int) { code = c }
+	k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
+		sess.server.handler(m)
+	})
+	return code
+}
+
+// Query is SendReceive for requests that carry a reply payload: it returns
+// the server's Response alongside the completion code.
+func (sess *Session) Query(op int, payload string) (string, int) {
+	k := sess.server.proc.kernel
+	if !sess.open {
+		k.Raise(CatKernExec, TypeBadHandle,
+			fmt.Sprintf("Query on closed session to %q", sess.server.name))
+	}
+	if !sess.server.proc.alive {
+		return "", KErrDisconnected
+	}
+	m := &Message{
+		Op:      op,
+		Payload: payload,
+		Client:  sess.client.proc.name,
+		server:  sess.server,
+		kernel:  k,
+	}
+	code := KErrDisconnected
+	m.onReply = func(c int) { code = c }
+	k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
+		sess.server.handler(m)
+	})
+	return m.Response, code
+}
+
+// SendAsync issues an asynchronous request whose reply completes ao. The
+// server handler runs on the next engine tick, modelling the kernel's
+// message queueing.
+func (sess *Session) SendAsync(op int, payload string, ao *ActiveObject) {
+	k := sess.server.proc.kernel
+	if !sess.open {
+		k.Raise(CatKernExec, TypeBadHandle,
+			fmt.Sprintf("SendAsync on closed session to %q", sess.server.name))
+	}
+	ao.SetActive()
+	m := &Message{
+		Op:      op,
+		Payload: payload,
+		Client:  sess.client.proc.name,
+		server:  sess.server,
+		kernel:  k,
+	}
+	m.onReply = func(c int) { ao.Complete(c) }
+	k.eng.After(0, "ipc "+sess.server.name, func() {
+		if !sess.server.proc.alive {
+			ao.Complete(KErrDisconnected)
+			return
+		}
+		k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
+			sess.server.handler(m)
+		})
+		if !m.replied {
+			// The server panicked mid-request; fail the client request.
+			ao.Complete(KErrDisconnected)
+		}
+	})
+}
+
+// Close releases the session (RHandleBase::Close), going through the
+// Kernel Server handle path so a corrupted handle raises KERN-SVR 0.
+func (sess *Session) Close() {
+	if !sess.open {
+		return
+	}
+	sess.open = false
+	sess.client.proc.CloseHandle(sess.handle)
+}
+
+// CorruptSessionHandle replaces the session's handle with one that does not
+// resolve (a modelled defect): the next Close raises KERN-SVR 0.
+func (sess *Session) CorruptSessionHandle() {
+	sess.handle = sess.client.proc.CorruptHandle()
+}

@@ -1,0 +1,192 @@
+// Package symfail reproduces "How Do Mobile Phones Fail? A Failure Data
+// Analysis of Symbian OS Smart Phones" (Cinque, Cotroneo, Kalbarczyk, Iyer —
+// DSN 2007) end to end:
+//
+//   - a behavioural Symbian OS simulator (internal/symbos) and phone/user
+//     model (internal/phone) stand in for the 25 physical handsets;
+//   - the paper's failure data logger (internal/core) runs as a daemon on
+//     every simulated phone;
+//   - logs travel to a collection server (internal/collect);
+//   - the analysis pipeline (internal/analysis) regenerates every table and
+//     figure of section 6, and the forum-study pipeline (internal/forum)
+//     regenerates section 4;
+//   - internal/report renders them as text.
+//
+// This package is the public face: RunFieldStudy runs the instrumented
+// fleet and returns the analysed study; RunForumStudy runs the web-forum
+// pipeline. See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package symfail
+
+import (
+	"fmt"
+	"time"
+
+	"symfail/internal/analysis"
+	"symfail/internal/collect"
+	"symfail/internal/core"
+	"symfail/internal/forum"
+	"symfail/internal/phone"
+)
+
+// FieldStudyConfig parameterises a full instrumented deployment.
+type FieldStudyConfig struct {
+	// Seed makes the whole study reproducible.
+	Seed uint64
+	// Phones is the fleet size (default 25, the paper's deployment).
+	Phones int
+	// Duration is the observation window (default 14 months).
+	Duration time.Duration
+	// JoinWindow staggers enrolment (default 9 months).
+	JoinWindow time.Duration
+	// Device optionally overrides the per-device calibration.
+	Device func(seed uint64) phone.Config
+	// Logger tunes the on-phone logger.
+	Logger core.Config
+	// Analysis tunes the pipeline thresholds (paper defaults when zero).
+	Analysis analysis.Options
+	// CollectorAddr, when non-empty, uploads every phone's log to a
+	// collection server at that address over TCP instead of reading the
+	// logs directly off the simulated flash.
+	CollectorAddr string
+	// UploadEvery additionally attaches a periodic on-device uploader
+	// (simulated time) when a collector is configured. Periodic uploads
+	// are what preserve the study data across service-visit master
+	// resets: reading only the final flash loses everything logged before
+	// a reset. Zero means a single upload at study end.
+	UploadEvery time.Duration
+	// WithUserReporter additionally installs the output-failure reporting
+	// extension (core.UserReporter) on every phone.
+	WithUserReporter bool
+	// WithDExc additionally installs the panic-only D_EXC baseline
+	// collector on every phone; its logs land in BaselineDataset.
+	WithDExc bool
+}
+
+// DefaultFieldStudyConfig mirrors the paper's deployment.
+func DefaultFieldStudyConfig(seed uint64) FieldStudyConfig {
+	return FieldStudyConfig{
+		Seed:       seed,
+		Phones:     25,
+		Duration:   phone.StudyDuration,
+		JoinWindow: 9 * phone.StudyMonth,
+	}
+}
+
+// FieldStudy is a completed deployment: the simulated fleet, its loggers,
+// the collected dataset and the analysed study.
+type FieldStudy struct {
+	Fleet   *phone.Fleet
+	Loggers []*core.Logger
+	Dataset *collect.Dataset
+	Study   *analysis.Study
+
+	// Reporters holds the user-report extensions (nil entries when the
+	// extension was not enabled).
+	Reporters []*core.UserReporter
+	// BaselineDataset holds the D_EXC panic-only logs when enabled.
+	BaselineDataset *collect.Dataset
+}
+
+// RunFieldStudy builds the fleet, installs the logger on every phone, runs
+// the observation window, collects the logs and analyses them.
+func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
+	if cfg.Phones <= 0 {
+		cfg.Phones = 25
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = phone.StudyDuration
+	}
+	if cfg.JoinWindow < 0 {
+		return nil, fmt.Errorf("symfail: negative join window")
+	}
+
+	fleet := phone.NewFleet(phone.FleetConfig{
+		Seed:       cfg.Seed,
+		Phones:     cfg.Phones,
+		Duration:   cfg.Duration,
+		JoinWindow: cfg.JoinWindow,
+		Device:     cfg.Device,
+	})
+	loggers := make([]*core.Logger, 0, len(fleet.Devices))
+	var reporters []*core.UserReporter
+	var baselines []*core.DExc
+	for _, d := range fleet.Devices {
+		l := core.Install(d, cfg.Logger)
+		loggers = append(loggers, l)
+		if cfg.WithUserReporter {
+			reporters = append(reporters, core.InstallUserReporter(d, core.UserReporterConfig{}))
+		}
+		if cfg.WithDExc {
+			baselines = append(baselines, core.InstallDExc(d, ""))
+		}
+		if cfg.CollectorAddr != "" && cfg.UploadEvery > 0 {
+			collect.AttachUploader(d, cfg.CollectorAddr, l.Config().LogPath, cfg.UploadEvery)
+		}
+	}
+	if err := fleet.Run(); err != nil {
+		return nil, fmt.Errorf("symfail: run fleet: %w", err)
+	}
+
+	ds := collect.NewDataset()
+	for i, l := range loggers {
+		id := fleet.Devices[i].ID()
+		if cfg.CollectorAddr != "" {
+			if err := collect.Upload(cfg.CollectorAddr, id, l.LogBytes()); err != nil {
+				return nil, fmt.Errorf("symfail: upload %s: %w", id, err)
+			}
+		} else {
+			ds.Put(id, l.LogBytes())
+		}
+	}
+
+	study := analysis.New(ds.AllRecords(), cfg.Analysis)
+	out := &FieldStudy{
+		Fleet: fleet, Loggers: loggers, Dataset: ds, Study: study,
+		Reporters: reporters,
+	}
+	if cfg.WithDExc {
+		out.BaselineDataset = collect.NewDataset()
+		for i, x := range baselines {
+			out.BaselineDataset.Put(fleet.Devices[i].ID(), x.LogBytes())
+		}
+	}
+	return out, nil
+}
+
+// RunFieldStudyWithCollector runs the study uploading logs over TCP to a
+// fresh local collection server, returning both. The caller owns the
+// server's lifetime. Phones upload weekly (unless cfg.UploadEvery says
+// otherwise), so data logged before a service-visit master reset survives
+// on the server.
+func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Server, error) {
+	ds := collect.NewDataset()
+	srv, err := collect.NewServer("127.0.0.1:0", ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.CollectorAddr = srv.Addr()
+	if cfg.UploadEvery <= 0 {
+		cfg.UploadEvery = 7 * 24 * time.Hour
+	}
+	fs, err := RunFieldStudy(cfg)
+	if err != nil {
+		_ = srv.Close()
+		return nil, nil, err
+	}
+	// Analyse the dataset that actually travelled over the wire.
+	fs.Dataset = ds
+	fs.Study = analysis.New(ds.AllRecords(), cfg.Analysis)
+	return fs, srv, nil
+}
+
+// RunForumStudy generates the synthetic web-forum corpus and runs the
+// section 4 pipeline over it.
+func RunForumStudy(seed uint64) *forum.Report {
+	return forum.Analyze(forum.Generate(forum.DefaultGeneratorConfig(seed)))
+}
+
+// ForumCorpus exposes the raw synthetic corpus for the examples.
+func ForumCorpus(seed uint64) []forum.Post {
+	return forum.Generate(forum.DefaultGeneratorConfig(seed))
+}
