@@ -2,15 +2,24 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint check test test-short bench repro repro-quick montecarlo cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static enforcement of the determinism and panic-taxonomy contracts
+# (see DESIGN.md "Determinism contract & static enforcement").
+lint:
+	$(GO) run ./cmd/symlint ./...
+
+# The CI gate: vet, contract lint, and race-enabled short tests.
+check: vet lint
+	$(GO) test -race -short ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,94 @@
+// Command symlint statically enforces the simulator's determinism and
+// panic-taxonomy contracts. It is built on the standard library only
+// (go/ast, go/parser, go/token, go/types); see internal/lint for the
+// analyzers and DESIGN.md for the contracts.
+//
+// Usage:
+//
+//	symlint [-list] [package patterns]
+//
+// Patterns are module-relative: "./...", "./internal/...", "./internal/sim".
+// With no patterns, "./..." is assumed. Diagnostics are printed one per
+// line as "file:line: analyzer: message"; the exit status is 1 when any
+// diagnostic is reported, 2 on a load or usage error, and 0 otherwise.
+// Suppress a single finding with an explicit, reasoned escape hatch on the
+// offending line or the line above:
+//
+//	//symlint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"symfail/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: symlint [-list] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
+	}
+	modRoot, err := lint.FindModRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "symlint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "symlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func relPath(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || len(rel) > len(path) {
+		return path
+	}
+	return rel
+}

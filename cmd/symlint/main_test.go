@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./internal/sim"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean package, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected diagnostics:\n%s", out.String())
+	}
+}
+
+func TestFixtureExitsNonZeroWithFileLineDiagnostic(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./internal/lint/testdata/src/determinismfix"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on fixture, want 1\nstderr:\n%s", code, errb.String())
+	}
+	// The diagnostic format is file:line: analyzer: message.
+	want := "determinismfix/fix.go:15: determinism: time.Now"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("stdout missing %q:\n%s", want, out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on -list, want 0", code)
+	}
+	for _, name := range []string{"determinism", "maporder", "panictaxonomy", "rngshare"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on bad pattern, want 2\nstderr:\n%s", code, errb.String())
+	}
+}

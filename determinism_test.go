@@ -1,6 +1,7 @@
 package symfail
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"os"
@@ -91,4 +92,53 @@ func TestGoldenDeterminismFingerprint(t *testing.T) {
 			" otherwise nondeterminism (e.g. map iteration) leaked into the model.", got, want)
 	}
 	_ = analysis.DefaultOptions()
+}
+
+// TestGoldenFingerprintByteIdentical re-marshals the computed fingerprint
+// and compares it byte for byte against the golden file, a stricter check
+// than the field-wise one above: JSON encoding, field order, and float
+// formatting are all part of the witness. It guards that behaviour-neutral
+// sweeps (such as the symlint-driven cleanup) stay behaviour-neutral.
+//
+// `make check` runs this same test in a -race build; the race-enabled run
+// path must produce the identical bytes, since instrumentation may not
+// perturb the simulation (only the scheduler, which the engine never
+// consults).
+func TestGoldenFingerprintByteIdentical(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden being rewritten by TestGoldenDeterminismFingerprint")
+	}
+	path := filepath.Join("testdata", "golden_fingerprint.json")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden fingerprint (run `go test -run Golden -update .`): %v", err)
+	}
+	got := computeFingerprint(t)
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if !bytes.Equal(blob, want) {
+		t.Errorf("golden fingerprint is not byte-identical.\n got: %s\nwant: %s", blob, want)
+	}
+}
+
+// TestNoUnclassifiedPanics asserts the dynamic side of the panictaxonomy
+// contract on a real run: every panic the field study produced is in
+// analysis.KnownPanicKeys (symlint proves the same for every *possible*
+// raise site, statically).
+func TestNoUnclassifiedPanics(t *testing.T) {
+	fs, err := RunFieldStudy(FieldStudyConfig{
+		Seed:       424242,
+		Phones:     6,
+		Duration:   3 * phone.StudyMonth,
+		JoinWindow: phone.StudyMonth / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := fs.Study.UnclassifiedPanicKeys(); len(keys) != 0 {
+		t.Errorf("panics outside the Table 2 taxonomy: %v", keys)
+	}
 }

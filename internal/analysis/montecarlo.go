@@ -106,6 +106,7 @@ func Aggregate(runs []map[string]float64) map[string]MetricSample {
 		for name, v := range run {
 			s := out[name]
 			s.Name = name
+			//symlint:allow maporder Values order follows the runs slice, not map order: each key gets exactly one append per run
 			s.Values = append(s.Values, v)
 			out[name] = s
 		}

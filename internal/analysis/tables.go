@@ -7,6 +7,55 @@ import (
 	"symfail/internal/symbos"
 )
 
+// KnownPanicKeys is the closed panic taxonomy of the study: every
+// "Category Type" pair from Table 2 of the paper, i.e. every panic the
+// simulator can mechanistically raise. The `symlint` panictaxonomy analyzer
+// statically cross-checks this table against the raise sites in
+// internal/symbos and internal/phone in both directions, so adding a panic
+// to the simulator without classifying it here (or vice versa) fails
+// `make lint`.
+var KnownPanicKeys = map[string]bool{
+	"KERN-EXEC 0":      true,
+	"KERN-EXEC 3":      true,
+	"KERN-EXEC 15":     true,
+	"KERN-SVR 0":       true,
+	"E32USER-CBase 33": true,
+	"E32USER-CBase 46": true,
+	"E32USER-CBase 47": true,
+	"E32USER-CBase 69": true,
+	"E32USER-CBase 91": true,
+	"E32USER-CBase 92": true,
+	"USER 10":          true,
+	"USER 11":          true,
+	"USER 70":          true,
+	"ViewSrv 11":       true,
+	"EIKON-LISTBOX 3":  true,
+	"EIKON-LISTBOX 5":  true,
+	"EIKCOCTL 70":      true,
+	"Phone.app 2":      true,
+	"MSGS Client 3":    true,
+	"MMFAudioClient 4": true,
+}
+
+// UnclassifiedPanicKeys returns the observed panic keys that fall outside
+// the taxonomy, sorted. A non-empty result means the event stream contains
+// panics the study tables would report without a documented meaning — the
+// dynamic counterpart of the static symlint check.
+func (s *Study) UnclassifiedPanicKeys() []string {
+	seen := make(map[string]bool)
+	for _, p := range s.Panics() {
+		if key := p.Key(); !KnownPanicKeys[key] && !seen[key] {
+			seen[key] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // PanicRow is one row of the Table 2 reproduction.
 type PanicRow struct {
 	Key     string

@@ -167,6 +167,7 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	//symlint:allow determinism network I/O deadline on a real socket, not simulated time
 	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
 		return
 	}
@@ -229,6 +230,7 @@ func Upload(addr, deviceID string, data []byte) error {
 		return fmt.Errorf("collect: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	//symlint:allow determinism network I/O deadline on a real socket, not simulated time
 	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
 		return fmt.Errorf("collect: deadline: %w", err)
 	}

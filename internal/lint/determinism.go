@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forbiddenFuncs maps package path -> function name -> why it is forbidden
+// inside the simulation packages. Each of these injects ambient, run-varying
+// state into what must be a pure function of the seed.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "wall clock; use the sim.Engine virtual clock",
+		"Since":     "wall clock; use the sim.Engine virtual clock",
+		"Until":     "wall clock; use the sim.Engine virtual clock",
+		"Sleep":     "real-time blocking; schedule a sim.Engine event instead",
+		"Tick":      "real-time ticker; schedule repeating sim.Engine events",
+		"After":     "real-time timer; schedule a sim.Engine event instead",
+		"AfterFunc": "real-time timer; schedule a sim.Engine event instead",
+		"NewTimer":  "real-time timer; schedule a sim.Engine event instead",
+		"NewTicker": "real-time ticker; schedule repeating sim.Engine events",
+	},
+	"os": {
+		"Getenv":    "ambient environment; pass configuration explicitly",
+		"LookupEnv": "ambient environment; pass configuration explicitly",
+		"Environ":   "ambient environment; pass configuration explicitly",
+		"Hostname":  "ambient host identity; pass identity explicitly",
+		"Getpid":    "ambient process identity varies per run",
+		"Getppid":   "ambient process identity varies per run",
+	},
+	"runtime": {
+		"NumGoroutine": "scheduler-dependent value varies per run",
+	},
+}
+
+// forbiddenImports are packages whose mere use inside the simulation is a
+// determinism leak: their entire API draws on unseeded or ambient entropy.
+var forbiddenImports = map[string]string{
+	"math/rand":    "global unseeded RNG; use *sim.Rand (xoshiro256**) from the engine",
+	"math/rand/v2": "global unseeded RNG; use *sim.Rand (xoshiro256**) from the engine",
+	"crypto/rand":  "OS entropy source; use *sim.Rand from the engine",
+}
+
+// DeterminismConfig scopes the determinism rules to package import-path
+// prefixes. The default covers every simulation package in the module.
+type DeterminismConfig struct {
+	RestrictedPrefixes []string
+}
+
+// DefaultDeterminismPrefixes is the set of packages under the determinism
+// contract: everything that feeds the golden fingerprint, plus the
+// collection subsystem whose exports must be replayable.
+var DefaultDeterminismPrefixes = []string{
+	"symfail/internal/",
+}
+
+// NewDeterminism builds the determinism analyzer: inside restricted
+// packages, wall-clock reads, real timers, ambient environment lookups, and
+// unseeded RNG packages are forbidden. Virtual time (sim.Engine) and the
+// seeded *sim.Rand are the only legitimate sources of time and randomness.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	prefixes := cfg.RestrictedPrefixes
+	if prefixes == nil {
+		prefixes = DefaultDeterminismPrefixes
+	}
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock, environment, and unseeded-RNG use in simulation packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !pathHasPrefix(pass.Pkg.Path, prefixes) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			checkDeterminismFile(pass, f)
+		}
+	}
+	return a
+}
+
+func pathHasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) || path == strings.TrimSuffix(p, "/") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDeterminismFile(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if why, bad := forbiddenImports[path]; bad {
+			pass.Reportf(imp.Pos(), "import of %s: %s", path, why)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		byName := forbiddenFuncs[pkgName.Imported().Path()]
+		if byName == nil {
+			return true
+		}
+		if why, bad := byName[sel.Sel.Name]; bad {
+			pass.Reportf(sel.Pos(), "%s.%s: %s", pkgName.Imported().Path(), sel.Sel.Name, why)
+		}
+		return true
+	})
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Allow is one parsed //symlint:allow directive.
+type Allow struct {
+	Rule   string // analyzer name the suppression applies to
+	Reason string // mandatory human justification
+}
+
+const directivePrefix = "//symlint:"
+
+// ParseAllow parses a single comment text. It returns ok=false when the
+// comment is not a symlint directive at all, and a non-nil error when it is
+// one but is malformed (unknown verb, missing rule, missing reason, or a
+// conventional machine-directive formatting violation).
+func ParseAllow(comment string) (Allow, bool, error) {
+	// Machine directives are conventionally written with no space after
+	// "//" (like //go:generate). Catch the near-miss explicitly so a typo
+	// does not silently disable the suppression.
+	trimmed := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(comment, directivePrefix) {
+		if strings.HasPrefix(trimmed, "symlint:") && !strings.HasPrefix(comment, "/*") {
+			return Allow{}, false, fmt.Errorf("symlint directive must start exactly with %q (no spaces)", directivePrefix)
+		}
+		return Allow{}, false, nil
+	}
+	rest := strings.TrimPrefix(comment, directivePrefix)
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, rest = rest[:i], strings.TrimLeft(rest[i:], " \t")
+	} else {
+		rest = ""
+	}
+	if verb != "allow" {
+		return Allow{}, false, fmt.Errorf("unknown symlint directive %q (only \"allow\" is supported)", verb)
+	}
+	rule := rest
+	reason := ""
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rule, reason = rest[:i], strings.TrimSpace(rest[i:])
+	}
+	if rule == "" {
+		return Allow{}, false, fmt.Errorf("symlint:allow needs an analyzer name: //symlint:allow <analyzer> <reason>")
+	}
+	if !validRuleName(rule) {
+		return Allow{}, false, fmt.Errorf("invalid analyzer name %q in symlint:allow (letters, digits, '-' and '_' only)", rule)
+	}
+	if reason == "" {
+		return Allow{}, false, fmt.Errorf("symlint:allow %s needs a reason: //symlint:allow %s <why this is safe>", rule, rule)
+	}
+	return Allow{Rule: rule, Reason: reason}, true, nil
+}
+
+func validRuleName(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// placedAllow is an Allow anchored at a source line.
+type placedAllow struct {
+	allow Allow
+	pos   token.Position
+	used  bool
+}
+
+// directiveIndex holds every allow directive in a package set, keyed by
+// file and line for suppression lookup.
+type directiveIndex struct {
+	byLine    map[string]map[int]*placedAllow // filename -> line -> directive
+	all       []*placedAllow                  // in discovery order
+	malformed []Diagnostic
+}
+
+func newDirectiveIndex(pkgs []*Package) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int]*placedAllow)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx.addComment(pkg, c)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *directiveIndex) addComment(pkg *Package, c *ast.Comment) {
+	allow, ok, err := ParseAllow(c.Text)
+	pos := pkg.fset.Position(c.Pos())
+	if err != nil {
+		idx.malformed = append(idx.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: "directive",
+			Message:  err.Error(),
+		})
+		return
+	}
+	if !ok {
+		return
+	}
+	pa := &placedAllow{allow: allow, pos: pos}
+	if idx.byLine[pos.Filename] == nil {
+		idx.byLine[pos.Filename] = make(map[int]*placedAllow)
+	}
+	idx.byLine[pos.Filename][pos.Line] = pa
+	idx.all = append(idx.all, pa)
+}
+
+// suppress reports whether d is covered by an allow on the same line or the
+// line directly above, and marks that allow used.
+func (idx *directiveIndex) suppress(d Diagnostic) bool {
+	lines := idx.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if pa := lines[line]; pa != nil && pa.allow.Rule == d.Analyzer {
+			pa.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused reports every allow directive that suppressed nothing, restricted
+// to analyzers that actually ran (an allow for an analyzer outside this run
+// cannot be judged). A stale allow is a lie about the code and must go.
+func (idx *directiveIndex) unused(active map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pa := range idx.all {
+		if pa.used || !active[pa.allow.Rule] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      pa.pos,
+			Analyzer: "directive",
+			Message:  fmt.Sprintf("unused symlint:allow %s (nothing to suppress here; delete it)", pa.allow.Rule),
+		})
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		rule    string
+		reason  string
+		ok      bool
+		wantErr bool
+	}{
+		{"//symlint:allow determinism network deadline, not sim time", "determinism", "network deadline, not sim time", true, false},
+		{"//symlint:allow maporder per-key append preserves run order", "maporder", "per-key append preserves run order", true, false},
+		{"//symlint:allow rng-share legacy worker", "rng-share", "legacy worker", true, false},
+		{"//symlint:allow determinism \t padded reason", "determinism", "padded reason", true, false},
+		{"// ordinary comment", "", "", false, false},
+		{"//symlint is mentioned here casually", "", "", false, false},
+		{"//symlint:allow determinism", "", "", false, true},             // missing reason
+		{"//symlint:allow", "", "", false, true},                         // missing rule
+		{"//symlint:allow  ", "", "", false, true},                       // missing rule
+		{"//symlint:deny determinism because", "", "", false, true},      // unknown verb
+		{"//symlint:", "", "", false, true},                              // empty verb
+		{"// symlint:allow determinism spaced out", "", "", false, true}, // space before directive
+		{"//symlint:allow bad/rule reason", "", "", false, true},         // invalid rule chars
+	}
+	for _, tc := range cases {
+		allow, ok, err := ParseAllow(tc.comment)
+		if ok != tc.ok || (err != nil) != tc.wantErr {
+			t.Errorf("ParseAllow(%q) = ok %v err %v, want ok %v err %v", tc.comment, ok, err, tc.ok, tc.wantErr)
+			continue
+		}
+		if ok && (allow.Rule != tc.rule || allow.Reason != tc.reason) {
+			t.Errorf("ParseAllow(%q) = %+v, want rule %q reason %q", tc.comment, allow, tc.rule, tc.reason)
+		}
+	}
+}
+
+// FuzzParseAllow checks the parser over arbitrary comment bytes: it must
+// never panic, a successful parse always yields a valid rule and non-empty
+// reason, and re-rendering a parsed directive parses back to itself.
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//symlint:allow determinism network deadline")
+	f.Add("//symlint:allow maporder x")
+	f.Add("//symlint:deny nothing")
+	f.Add("//symlint:")
+	f.Add("// symlint:allow determinism oops")
+	f.Add("//symlint:allow a\tb")
+	f.Add("/*symlint:allow block comments are not directives*/")
+	f.Add("//symlint:allow rng_share underscores-and-dashes ok")
+	f.Fuzz(func(t *testing.T, comment string) {
+		allow, ok, err := ParseAllow(comment)
+		if ok && err != nil {
+			t.Fatalf("ParseAllow(%q): both ok and error", comment)
+		}
+		if !ok {
+			return
+		}
+		if allow.Rule == "" || !validRuleName(allow.Rule) {
+			t.Fatalf("ParseAllow(%q): invalid rule %q accepted", comment, allow.Rule)
+		}
+		if strings.TrimSpace(allow.Reason) == "" {
+			t.Fatalf("ParseAllow(%q): empty reason accepted", comment)
+		}
+		rendered := "//symlint:allow " + allow.Rule + " " + allow.Reason
+		again, ok2, err2 := ParseAllow(rendered)
+		if !ok2 || err2 != nil {
+			t.Fatalf("round-trip of %q failed: %v", rendered, err2)
+		}
+		if again.Rule != allow.Rule || again.Reason != allow.Reason {
+			t.Fatalf("round-trip drifted: %+v -> %+v", allow, again)
+		}
+	})
+}

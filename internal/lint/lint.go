@@ -1,0 +1,129 @@
+// Package lint is a dependency-free static-analysis driver for the symfail
+// module, modeled on the golang.org/x/tools/go/analysis shape but built
+// entirely on the standard library (go/ast, go/parser, go/token, go/types).
+//
+// The simulator's scientific claims rest on two statically checkable
+// contracts: bit-for-bit determinism (no ambient time, environment, or
+// global randomness inside the simulation packages) and a closed panic
+// taxonomy (every mechanistically raised (Category, Type) pair is known to
+// the analysis layer). The analyzers in this package enforce both, so a
+// future refactor cannot silently break the paper reproduction.
+//
+// Diagnostics can be suppressed one line at a time with an explicit,
+// reasoned escape hatch:
+//
+//	//symlint:allow <analyzer> <reason>
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory; an allow without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, rendered as "file:line: analyzer: message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check. Run is invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+	// All is every package in the current run, for whole-program checks
+	// such as the panic-taxonomy cross-reference.
+	All []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultAnalyzers returns the full analyzer suite with module defaults:
+// determinism, maporder, panictaxonomy, and rngshare.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(DeterminismConfig{}),
+		NewMapOrder(),
+		NewPanicTaxonomy(TaxonomyConfig{}),
+		NewRNGShare(RNGConfig{}),
+	}
+}
+
+// Run applies every analyzer to every package, then filters the findings
+// through the //symlint:allow directives found in the analyzed sources.
+// Malformed or unused allow directives are reported under the pseudo-analyzer
+// name "directive". The result is sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: pkgFset(pkg), Pkg: pkg, All: pkgs, diags: &diags}
+			a.Run(pass)
+		}
+	}
+
+	idx := newDirectiveIndex(pkgs)
+	diags = append(diags, idx.malformed...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "directive" && idx.suppress(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	diags = append(diags, idx.unused(active)...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// pkgFset digs the FileSet out of a package by finding any file position.
+// All packages from one Loader share a single FileSet, which the Loader
+// stores; passes get it through the package's loader-assigned set.
+func pkgFset(pkg *Package) *token.FileSet {
+	return pkg.fset
+}

@@ -1,0 +1,172 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"symfail/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// sharedLoader amortizes stdlib source-import work across the golden tests.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	root, err := lint.FindModRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return lint.NewLoader(root)
+})
+
+func loadFixture(t *testing.T, name string) []*lint.Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/lint/testdata/src/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs
+}
+
+// checkGolden runs the analyzers over one fixture package and compares the
+// rendered diagnostics, with module-relative paths, against the golden file.
+func checkGolden(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := loadFixture(t, fixture)
+	diags := lint.Run(pkgs, analyzers)
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(l.ModRoot, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Pos.Filename = filepath.ToSlash(rel)
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", fixture+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden %s updated (%d diagnostics)", goldenPath, len(diags))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/lint -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics drifted from %s.\n got:\n%s\nwant:\n%s", goldenPath, got, want)
+	}
+	// Every positive fixture line is marked "// want:"; the golden file must
+	// reference each of those lines, or a fixture case silently stopped
+	// firing without the golden noticing an edit.
+	assertWantLinesCovered(t, pkgs[0].Dir, l.ModRoot, got)
+}
+
+// assertWantLinesCovered cross-checks the "// want:" markers in fixture
+// sources against the golden diagnostics, so the two cannot drift apart.
+func assertWantLinesCovered(t *testing.T, fixtureDir, modRoot, golden string) {
+	t.Helper()
+	reported := make(map[string]bool)
+	for _, line := range strings.Split(golden, "\n") {
+		if i := strings.Index(line, ": "); i > 0 {
+			reported[line[:i]] = true
+		}
+	}
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(fixtureDir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(modRoot, path)
+		rel = filepath.ToSlash(rel)
+		for i, src := range strings.Split(string(data), "\n") {
+			if !strings.Contains(src, "// want:") {
+				continue
+			}
+			key := rel + ":" + itoa(i+1)
+			if !reported[key] {
+				t.Errorf("fixture marks %s with `// want:` but the golden has no diagnostic there", key)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	checkGolden(t, "determinismfix", lint.NewDeterminism(lint.DeterminismConfig{}))
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	checkGolden(t, "maporderfix", lint.NewMapOrder())
+}
+
+func TestPanicTaxonomyGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/panicfix"
+	checkGolden(t, "panicfix", lint.NewPanicTaxonomy(lint.TaxonomyConfig{
+		SourcePrefixes: []string{fixturePath},
+		TablePkg:       fixturePath,
+		TableVar:       "KnownPanicKeys",
+	}))
+}
+
+func TestRNGShareGolden(t *testing.T) {
+	checkGolden(t, "rngsharefix", lint.NewRNGShare(lint.RNGConfig{}))
+}
+
+func TestDirectiveGolden(t *testing.T) {
+	checkGolden(t, "directivefix", lint.NewDeterminism(lint.DeterminismConfig{}))
+}
+
+// TestSymlintExitCodes drives the real CLI contract end to end: non-zero
+// with a correct file:line diagnostic on a fixture, zero on clean packages.
+func TestRunOnCleanPackage(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on internal/sim: %s", d)
+	}
+}

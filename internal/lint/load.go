@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package of the module.
+type Package struct {
+	Path  string // import path, e.g. "symfail/internal/sim"
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	fset *token.FileSet // shared across all packages from one Loader
+}
+
+// Loader loads module packages from source with full type information using
+// only the standard library: module-internal imports resolve against the
+// module tree, everything else goes through the compiler's source importer.
+// One Loader instance caches packages across Load calls, so repeated loads
+// (and the transitive closure of stdlib imports) are paid for once.
+type Loader struct {
+	ModRoot string // absolute path of the directory containing go.mod
+	ModPath string // module path declared in go.mod
+	Fset    *token.FileSet
+
+	pkgs    map[string]*Package // by import path; nil entry = load in progress
+	std     types.ImporterFrom
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at modRoot (the directory
+// holding go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: not a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModRoot: abs,
+		ModPath: modPath,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	l.std = std
+	return l, nil
+}
+
+// FindModRoot walks up from dir looking for a go.mod.
+func FindModRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns into packages. Supported patterns, all relative to
+// the module root: "./..." (every package), "./dir/..." (subtree), and
+// "./dir" (single package). Test files (_test.go) are not loaded: the
+// contract symlint enforces is about simulator code, and test scaffolding
+// legitimately touches the wall clock.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make([]string, 0, len(patterns))
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			subs, err := l.walk(l.ModRoot)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModRoot, strings.TrimSuffix(pat, "/..."))
+			subs, err := l.walk(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subs {
+				add(d)
+			}
+		default:
+			add(filepath.Join(l.ModRoot, pat))
+		}
+	}
+	sort.Strings(dirs)
+	out := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// walk returns every directory under root containing at least one non-test
+// .go file, skipping testdata, vendor, hidden, and underscore directories.
+func (l *Loader) walk(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps an absolute module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path, dir)
+}
+
+func (l *Loader) loadPath(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer func() { l.loading[path] = false }()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, fset: l.Fset}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, anything else comes from the toolchain's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		pkg, err := l.loadPath(path, filepath.Join(l.ModRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModRoot, 0)
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewMapOrder builds the maporder analyzer. Go map iteration order is
+// deliberately randomized per process, so any map range whose body has an
+// order-dependent effect — appending to an outer slice, writing output,
+// sending on a channel, concatenating onto an outer string — injects
+// nondeterminism unless the collected result is deterministically sorted
+// afterwards in the same function.
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-dependent effects inside map iteration without a subsequent sort",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			forEachFuncBody(f, func(body *ast.BlockStmt) {
+				checkMapRanges(pass, body)
+			})
+		}
+	}
+	return a
+}
+
+// forEachFuncBody invokes fn for every function or method body in the file,
+// including function literals.
+func forEachFuncBody(f *ast.File, fn func(*ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+func checkMapRanges(pass *Pass, funcBody *ast.BlockStmt) {
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested function literals get their own visit
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, funcBody, rs)
+		return true
+	})
+}
+
+// checkMapRangeBody inspects one map-range body for order-dependent effects.
+func checkMapRangeBody(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, funcBody, rs, n)
+		case *ast.SendStmt:
+			if declaredOutside(info, rootExpr(n.Chan), rs.Pos()) {
+				pass.Reportf(n.Pos(), "channel send inside iteration over map: the receiver observes random map order; iterate sorted keys instead")
+			}
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rs, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if bt, ok := info.TypeOf(as.Lhs[0]).(*types.Basic); ok && bt.Info()&types.IsString != 0 &&
+			declaredOutside(info, as.Lhs[0], rs.Pos()) {
+			pass.Reportf(as.Pos(), "string concatenation onto %s inside iteration over map: result depends on random map order; iterate sorted keys instead", exprName(as.Lhs[0]))
+		}
+		return
+	}
+	// x = append(x, ...) onto a slice declared before the range: map order
+	// becomes element order unless the slice is sorted afterwards.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) || i >= len(as.Lhs) {
+			continue
+		}
+		target := as.Lhs[i]
+		if !declaredOutside(info, target, rs.Pos()) {
+			continue
+		}
+		if sortedAfter(info, funcBody, rs, target) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s inside iteration over map without a deterministic sort afterwards; sort the result (sort/slices) or iterate sorted keys", exprName(target))
+	}
+}
+
+func checkMapRangeCall(pass *Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if x, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[x].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && (hasPrefix(sel.Sel.Name, "Print") || hasPrefix(sel.Sel.Name, "Fprint")) {
+				// Fprint into a writer created inside the loop is fine.
+				if hasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 &&
+					!declaredOutside(info, rootExpr(call.Args[0]), rs.Pos()) {
+					return
+				}
+				pass.Reportf(call.Pos(), "fmt.%s inside iteration over map: output order follows random map order; iterate sorted keys instead", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		if declaredOutside(info, rootExpr(sel.X), rs.Pos()) {
+			pass.Reportf(call.Pos(), "%s.%s inside iteration over map: output order follows random map order; iterate sorted keys instead", exprName(sel.X), sel.Sel.Name)
+		}
+	}
+}
+
+// sortedAfter reports whether target is passed to a sort/slices call located
+// after the range statement in the same function body.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, target ast.Expr) bool {
+	obj := exprObject(info, target)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		x, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := info.Uses[x].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprObject resolves the variable or field identity behind an lvalue.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	case *ast.IndexExpr:
+		return exprObject(info, e.X)
+	case *ast.ParenExpr:
+		return exprObject(info, e.X)
+	case *ast.StarExpr:
+		return exprObject(info, e.X)
+	}
+	return nil
+}
+
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredOutside reports whether the variable behind e exists before pos
+// (package-level, field, or declared earlier in the function). Expressions
+// whose storage cannot be pinned down are treated as outside, which errs on
+// the side of reporting.
+func declaredOutside(info *types.Info, e ast.Expr, pos token.Pos) bool {
+	obj := exprObject(info, e)
+	if obj == nil {
+		return true
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return true // struct fields outlive the loop iteration
+	}
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return true // package-level, possibly in another file
+	}
+	return obj.Pos() < pos
+}
+
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprName(e.X)
+	case *ast.StarExpr:
+		return "*" + exprName(e.X)
+	case *ast.IndexExpr:
+		return exprName(e.X) + "[...]"
+	}
+	return "expression"
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

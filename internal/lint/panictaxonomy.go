@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TaxonomyConfig wires the panictaxonomy analyzer to the module layout.
+type TaxonomyConfig struct {
+	// SourcePrefixes are the packages whose panic-raise sites form the
+	// mechanistic side of the contract.
+	SourcePrefixes []string
+	// TablePkg / TableVar locate the classification table: a
+	// map[string]bool whose keys are "Category Type" strings.
+	TablePkg string
+	TableVar string
+}
+
+// DefaultTaxonomyConfig matches the symfail module: panics are raised in
+// the OS and device layers and classified by internal/analysis.
+var DefaultTaxonomyConfig = TaxonomyConfig{
+	SourcePrefixes: []string{"symfail/internal/symbos", "symfail/internal/phone"},
+	TablePkg:       "symfail/internal/analysis",
+	TableVar:       "KnownPanicKeys",
+}
+
+// raiseSite is one statically extracted (Category, Type) panic origin.
+type raiseSite struct {
+	key string
+	pos ast.Node
+}
+
+// NewPanicTaxonomy builds the panictaxonomy analyzer. It statically
+// extracts every (Category, Type) pair the simulator can raise — calls to a
+// Kernel-style Raise(cat, typ, ...) method and Panic{Category:, Type:}
+// composite literals — and cross-checks the set against the analysis
+// layer's classification table, in both directions: a raise site missing
+// from the table would be silently dropped by the study tables, and a table
+// entry with no raise site is a taxonomy row the simulator can never
+// produce. The check runs once, anchored at the table package, so it needs
+// the table package in the analyzed set (e.g. symlint ./...).
+func NewPanicTaxonomy(cfg TaxonomyConfig) *Analyzer {
+	if cfg.SourcePrefixes == nil {
+		cfg = DefaultTaxonomyConfig
+	}
+	a := &Analyzer{
+		Name: "panictaxonomy",
+		Doc:  "cross-check raised (Category, Type) panic pairs against the analysis classification table",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path != cfg.TablePkg {
+			return
+		}
+		table, tablePos := loadPanicTable(pass.Pkg, cfg.TableVar)
+		if table == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"classification table %s.%s not found or not a map[string]... literal", cfg.TablePkg, cfg.TableVar)
+			return
+		}
+		var sites []raiseSite
+		for _, pkg := range pass.All {
+			if !pathHasPrefix(pkg.Path, cfg.SourcePrefixes) {
+				continue
+			}
+			sites = append(sites, extractRaiseSites(pass, pkg)...)
+		}
+		raised := make(map[string]bool, len(sites))
+		for _, s := range sites {
+			raised[s.key] = true
+			if !table[s.key] {
+				pass.Reportf(s.pos.Pos(),
+					"panic %q raised here is missing from %s.%s: the analysis layer would tabulate it without a documented meaning", s.key, cfg.TablePkg, cfg.TableVar)
+			}
+		}
+		// Reverse direction: dead taxonomy rows. Only meaningful when at
+		// least one source package was in the analyzed set.
+		if len(sites) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(table))
+		for k := range table {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !raised[k] {
+				pass.Reportf(tablePos[k].Pos(),
+					"taxonomy key %q has no raise site in %s: the simulator can never produce it", k, strings.Join(cfg.SourcePrefixes, ", "))
+			}
+		}
+	}
+	return a
+}
+
+// loadPanicTable finds `var <name> = map[string]...{...}` in pkg and returns
+// its constant-folded keys plus each key's position.
+func loadPanicTable(pkg *Package, name string) (map[string]bool, map[string]ast.Node) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						return nil, nil
+					}
+					table := make(map[string]bool)
+					pos := make(map[string]ast.Node)
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if s, ok := constString(pkg.Info, kv.Key); ok {
+							table[s] = true
+							pos[s] = kv.Key
+						}
+					}
+					return table, pos
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// extractRaiseSites finds every statically resolvable panic origin in pkg.
+func extractRaiseSites(pass *Pass, pkg *Package) []raiseSite {
+	var sites []raiseSite
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Raise" || len(n.Args) < 2 {
+					return true
+				}
+				cat, okCat := constString(info, n.Args[0])
+				typ, okTyp := constInt(info, n.Args[1])
+				if !okCat || !okTyp {
+					// A dynamic category or type defeats static
+					// classification — the contract requires panics to be
+					// mechanistically enumerable.
+					pass.Reportf(n.Pos(), "Raise with non-constant category or type cannot be statically cross-checked against the taxonomy")
+					return true
+				}
+				sites = append(sites, raiseSite{key: fmt.Sprintf("%s %d", cat, typ), pos: n})
+			case *ast.CompositeLit:
+				if site, ok := panicLiteralSite(info, n); ok {
+					sites = append(sites, site)
+				}
+			}
+			return true
+		})
+	}
+	return sites
+}
+
+// panicLiteralSite extracts a key from a Panic{Category: ..., Type: ...}
+// composite literal with constant fields.
+func panicLiteralSite(info *types.Info, cl *ast.CompositeLit) (raiseSite, bool) {
+	t := info.TypeOf(cl)
+	if t == nil {
+		return raiseSite{}, false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Panic" {
+		return raiseSite{}, false
+	}
+	var cat string
+	var typ int64
+	var haveCat, haveTyp bool
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Category":
+			cat, haveCat = constString(info, kv.Value)
+		case "Type":
+			typ, haveTyp = constInt(info, kv.Value)
+		}
+	}
+	if !haveCat || !haveTyp {
+		return raiseSite{}, false
+	}
+	return raiseSite{key: fmt.Sprintf("%s %d", cat, typ), pos: cl}, true
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGConfig names the deterministic generator type guarded by the rngshare
+// analyzer.
+type RNGConfig struct {
+	RandPkg  string // import path of the package defining the RNG
+	RandType string // named type, shared as a pointer
+}
+
+// DefaultRNGConfig guards *sim.Rand, the module's single randomness source.
+var DefaultRNGConfig = RNGConfig{RandPkg: "symfail/internal/sim", RandType: "Rand"}
+
+// NewRNGShare builds the rngshare analyzer. A *sim.Rand is a mutable stream:
+// two goroutines drawing from the same instance race on its state and, even
+// under a mutex, interleave nondeterministically. The only safe hand-off is
+// a child stream derived via Split() in the spawning goroutine. The analyzer
+// flags a *sim.Rand that crosses a `go` statement boundary — captured by the
+// goroutine's closure, passed as a call argument, or embedded in a struct
+// literal argument — unless the value is a fresh Split() result.
+func NewRNGShare(cfg RNGConfig) *Analyzer {
+	if cfg.RandPkg == "" {
+		cfg = DefaultRNGConfig
+	}
+	a := &Analyzer{
+		Name: "rngshare",
+		Doc:  "flag a deterministic RNG shared with a goroutine without Split()",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, f, cfg, gs)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkGoStmt(pass *Pass, f *ast.File, cfg RNGConfig, gs *ast.GoStmt) {
+	info := pass.Pkg.Info
+	// RNG-typed expressions anywhere in the call arguments (including
+	// nested composite-literal fields) escape into the new goroutine.
+	for _, arg := range gs.Call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			// A bare-ident key in a composite literal is a field name, not
+			// a value crossing the boundary.
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+					ast.Inspect(kv.Value, func(m ast.Node) bool { return inspectRandExpr(pass, f, cfg, m) })
+					return false
+				}
+			}
+			return inspectRandExpr(pass, f, cfg, n)
+		})
+	}
+	// Closure goroutines additionally capture outer RNG variables.
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || !isRandType(obj.Type(), cfg) {
+			return true // fields are judged where the struct crosses the boundary
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the goroutine: private stream
+		}
+		if splitSafe(pass, f, id, cfg) {
+			return true
+		}
+		pass.Reportf(id.Pos(), "%s captured by a goroutine shares one RNG stream across threads; derive a child with Split() before the go statement", id.Name)
+		return true
+	})
+}
+
+// inspectRandExpr reports an RNG-typed expression escaping through a go
+// statement's arguments; it returns false to stop descending once judged.
+func inspectRandExpr(pass *Pass, f *ast.File, cfg RNGConfig, n ast.Node) bool {
+	e, ok := n.(ast.Expr)
+	if !ok || !isRandType(pass.Pkg.Info.TypeOf(e), cfg) {
+		return true
+	}
+	if splitSafe(pass, f, e, cfg) {
+		return false
+	}
+	pass.Reportf(e.Pos(), "%s passed to a goroutine shares one RNG stream across threads; derive a child with Split() before the go statement", exprName(e))
+	return false
+}
+
+// isRandType reports whether t is *Rand (or Rand) for the configured type.
+func isRandType(t types.Type, cfg RNGConfig) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == cfg.RandType && obj.Pkg() != nil && obj.Pkg().Path() == cfg.RandPkg
+}
+
+// splitSafe reports whether e is a fresh child stream: either a direct
+// x.Split() call, or a variable whose (single) definition is one.
+func splitSafe(pass *Pass, f *ast.File, e ast.Expr, cfg RNGConfig) bool {
+	if isSplitCall(e) {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	defined := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if defined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || pass.Pkg.Info.ObjectOf(lid) != obj {
+					continue
+				}
+				if i < len(n.Rhs) && isSplitCall(n.Rhs[i]) {
+					defined = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Pkg.Info.ObjectOf(name) != obj {
+					continue
+				}
+				if i < len(n.Values) && isSplitCall(n.Values[i]) {
+					defined = true
+				}
+			}
+		}
+		return !defined
+	})
+	return defined
+}
+
+func isSplitCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Split"
+}

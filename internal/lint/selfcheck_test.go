@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"symfail/internal/lint"
+)
+
+// TestSymlintSelfCheck holds symlint to its own rules: the analyzer suite
+// must come back clean over internal/lint and cmd/symlint. The linter being
+// unable to pass its own lint would make every other green run meaningless.
+func TestSymlintSelfCheck(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/lint", "./cmd/symlint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.DefaultAnalyzers()) {
+		t.Errorf("symlint does not pass its own lint: %s", d)
+	}
+}

@@ -1,0 +1,50 @@
+// Package determinismfix is a symlint golden-test fixture: each "want"
+// comment marks an expected determinism diagnostic; everything else must
+// stay silent.
+package determinismfix
+
+import (
+	"math/rand" // want: forbidden import
+	"os"
+	"time"
+)
+
+// Positive cases: ambient state inside a simulation package.
+
+func wallClock() int64 {
+	t := time.Now() // want: wall clock
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want: wall clock
+}
+
+func env() string {
+	return os.Getenv("SYMFAIL_SEED") // want: ambient environment
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want: real-time blocking
+}
+
+func globalRNG() int {
+	return rand.Intn(6) // import line already flagged; the call itself is fine
+}
+
+// Negative cases: deterministic use of the time package's pure values.
+
+func virtualBudget() time.Duration {
+	return 3 * time.Hour // a Duration is just an int64; no clock involved
+}
+
+func epoch() time.Time {
+	return time.Unix(0, 0) // pure function of its arguments
+}
+
+// Negative case: the reasoned escape hatch.
+
+func deadline() time.Time {
+	//symlint:allow determinism fixture exercising the escape hatch
+	return time.Now().Add(30 * time.Second)
+}

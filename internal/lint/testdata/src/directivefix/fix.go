@@ -1,0 +1,30 @@
+// Package directivefix is a symlint golden-test fixture for the
+// //symlint:allow directive machinery itself.
+package directivefix
+
+import "time"
+
+// Negative: a well-formed allow on the line above suppresses the finding.
+func allowedAbove() time.Time {
+	//symlint:allow determinism fixture demonstrating suppression
+	return time.Now()
+}
+
+// Negative: a well-formed allow trailing the offending line.
+func allowedTrailing() time.Time {
+	return time.Now() //symlint:allow determinism trailing form works too
+}
+
+// Positive: an allow with no reason is malformed and suppresses nothing.
+func missingReason() time.Time {
+	//symlint:allow determinism
+	return time.Now() // want: wall clock (the malformed allow is inert)
+}
+
+// Positive: an unknown verb is malformed.
+//symlint:deny determinism nice try
+
+// Positive: an allow that suppresses nothing is stale and must go.
+//
+//symlint:allow determinism nothing on this line ever trips the analyzer
+func harmless() int { return 4 }

@@ -1,0 +1,93 @@
+// Package maporderfix is a symlint golden-test fixture for the maporder
+// analyzer: order-dependent effects inside map iteration.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Positive: append to an outer slice with no subsequent sort.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: append without sort
+	}
+	return keys
+}
+
+// Positive: printing inside the range leaks map order to the output.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want: output follows map order
+	}
+}
+
+// Positive: string concatenation onto an outer variable.
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want: result depends on map order
+	}
+	return out
+}
+
+// Positive: a channel consumer observes map order.
+func stream(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want: channel send
+	}
+}
+
+// Positive: writing to an outer builder.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want: output follows map order
+	}
+	return b.String()
+}
+
+// Negative: the canonical collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: the slice is per-iteration, so its order is per-key.
+func perKey(m map[string][]int) map[string]int {
+	out := make(map[string]int)
+	for k, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		out[k] = len(doubled)
+	}
+	return out
+}
+
+// Negative: commutative accumulation does not depend on order.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Negative: writer created inside the loop, order cannot leak out of it.
+func perIterationWriter(m map[string]int) map[string]string {
+	out := make(map[string]string)
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}

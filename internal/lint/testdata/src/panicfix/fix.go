@@ -1,0 +1,68 @@
+// Package panicfix is a symlint golden-test fixture for the panictaxonomy
+// analyzer. It is a self-contained miniature of the real layout: a
+// Kernel.Raise API plus a Panic literal on the raising side, and a
+// KnownPanicKeys classification table standing in for internal/analysis.
+package panicfix
+
+// Category mirrors symbos.Category.
+type Category string
+
+const (
+	CatKernExec Category = "KERN-EXEC"
+	CatUser     Category = "USER"
+	CatGhost    Category = "GHOST" // never classified: raising it must lint
+)
+
+const (
+	TypeBadHandle   = 0
+	TypeDesOverflow = 11
+	TypeGhost       = 99
+)
+
+// Panic mirrors symbos.Panic.
+type Panic struct {
+	Category Category
+	Type     int
+	Reason   string
+}
+
+// Kernel mirrors the symbos kernel's Raise API.
+type Kernel struct{}
+
+func (k *Kernel) Raise(cat Category, typ int, reason string) {
+	panic(&Panic{Category: cat, Type: typ, Reason: reason})
+}
+
+// KnownPanicKeys stands in for analysis.KnownPanicKeys. "USER 70" has no
+// raise site below, so the reverse check must flag it as unreachable.
+var KnownPanicKeys = map[string]bool{
+	"KERN-EXEC 0": true,
+	"USER 11":     true,
+	"USER 70":     true, // want: no raise site
+}
+
+// Negative cases: classified raise sites.
+
+func closeBadHandle(k *Kernel) {
+	k.Raise(CatKernExec, TypeBadHandle, "object not found in index")
+}
+
+func overflow(k *Kernel) *Panic {
+	return &Panic{Category: CatUser, Type: TypeDesOverflow, Reason: "descriptor exceeds max length"}
+}
+
+// Positive cases: panics the classification table has never heard of.
+
+func ghostRaise(k *Kernel) {
+	k.Raise(CatGhost, TypeGhost, "unclassified category") // want: missing from table
+}
+
+func ghostLiteral() *Panic {
+	return &Panic{Category: CatKernExec, Type: 42, Reason: "unclassified type"} // want: missing from table
+}
+
+// Positive case: a dynamic pair defeats static classification entirely.
+
+func dynamic(k *Kernel, cat Category, typ int) {
+	k.Raise(cat, typ, "runtime-chosen panic") // want: non-constant
+}

@@ -1,0 +1,64 @@
+// Package rngsharefix is a symlint golden-test fixture for the rngshare
+// analyzer: a *sim.Rand crossing a goroutine boundary without Split().
+package rngsharefix
+
+import "symfail/internal/sim"
+
+type worker struct {
+	rng *sim.Rand
+	out chan float64
+}
+
+func consume(r *sim.Rand, out chan<- float64) {
+	out <- r.Float64()
+}
+
+// Positive: the parent stream is captured by the goroutine closure.
+func capturedParent(out chan float64) {
+	r := sim.NewRand(1)
+	go func() {
+		out <- r.Float64() // want: captured without Split
+	}()
+	_ = r.Uint64()
+}
+
+// Positive: the parent stream is passed as a goroutine argument.
+func passedParent(out chan float64) {
+	r := sim.NewRand(2)
+	go consume(r, out) // want: passed without Split
+	_ = r.Uint64()
+}
+
+// Positive: the parent stream rides into the goroutine inside a struct.
+func structSmuggled(out chan float64) {
+	r := sim.NewRand(3)
+	go func(w worker) {
+		w.out <- w.rng.Float64()
+	}(worker{rng: r, out: out}) // want: passed without Split
+	_ = r.Uint64()
+}
+
+// Negative: a child derived via Split before the go statement.
+func splitChildVar(out chan float64) {
+	r := sim.NewRand(4)
+	child := r.Split()
+	go func() {
+		out <- child.Float64()
+	}()
+	_ = r.Uint64()
+}
+
+// Negative: Split called directly in the argument list.
+func splitChildArg(out chan float64) {
+	r := sim.NewRand(5)
+	go consume(r.Split(), out)
+	_ = r.Uint64()
+}
+
+// Negative: a generator created inside the goroutine is private to it.
+func privateRand(out chan float64) {
+	go func() {
+		r := sim.NewRand(6)
+		out <- r.Float64()
+	}()
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// drawSequence consumes n values from r.
+func drawSequence(r *Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// TestSplitStreamsConcurrentMatchSerial is the rngshare analyzer's dynamic
+// counterpart: handing each goroutine its own Split() child is the one
+// sanctioned way to use randomness across threads, and it must reproduce
+// the single-goroutine sequences exactly — the schedule cannot leak in
+// because the child states are fixed before the goroutines start.
+// `make check` runs this under -race, which also proves the children share
+// no state.
+func TestSplitStreamsConcurrentMatchSerial(t *testing.T) {
+	const n = 100000
+
+	// Reference: one goroutine, children drained one after the other.
+	parent := NewRand(20070625)
+	c1, c2 := parent.Split(), parent.Split()
+	want1 := drawSequence(c1, n)
+	want2 := drawSequence(c2, n)
+	wantParent := drawSequence(parent, n)
+
+	// Same seed, same Split order, but the children race each other.
+	parent2 := NewRand(20070625)
+	d1, d2 := parent2.Split(), parent2.Split()
+	var got1, got2 []uint64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		got1 = drawSequence(d1, n)
+	}()
+	go func() {
+		defer wg.Done()
+		got2 = drawSequence(d2, n)
+	}()
+	// The parent keeps drawing on the main goroutine while the children run:
+	// Split handed out copies, so this must not perturb them (or they it).
+	gotParent := drawSequence(parent2, n)
+	wg.Wait()
+
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("child 1 diverged at draw %d: got %#x want %#x", i, got1[i], want1[i])
+		}
+		if got2[i] != want2[i] {
+			t.Fatalf("child 2 diverged at draw %d: got %#x want %#x", i, got2[i], want2[i])
+		}
+		if gotParent[i] != wantParent[i] {
+			t.Fatalf("parent diverged at draw %d: got %#x want %#x", i, gotParent[i], wantParent[i])
+		}
+	}
+}
+
+// TestSplitChildrenAreIndependentStreams guards against a Split
+// implementation that aliases state: the two children and the parent must
+// produce pairwise different streams (a shared-state bug would make a child
+// replay or interleave another stream).
+func TestSplitChildrenAreIndependentStreams(t *testing.T) {
+	parent := NewRand(99)
+	c1, c2 := parent.Split(), parent.Split()
+	s1 := drawSequence(c1, 64)
+	s2 := drawSequence(c2, 64)
+	sp := drawSequence(parent, 64)
+	same := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(s1, s2) {
+		t.Fatal("children produced identical streams")
+	}
+	if same(s1, sp) || same(s2, sp) {
+		t.Fatal("a child replays the parent stream")
+	}
+}
