@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check test test-short bench repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint check chaos test test-short bench repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -20,6 +20,11 @@ lint:
 # The CI gate: vet, contract lint, and race-enabled short tests.
 check: vet lint
 	$(GO) test -race -short ./...
+
+# The chaos harness: the fleet under deterministic flash + network fault
+# injection, under the race detector (see DESIGN.md §8).
+chaos:
+	$(GO) test -race -run 'Chaos' -v .
 
 test:
 	$(GO) test ./...

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"symfail/internal/analysis"
+	"symfail/internal/collect"
 	"symfail/internal/phone"
 )
 
@@ -121,6 +124,133 @@ func TestGoldenFingerprintByteIdentical(t *testing.T) {
 	blob = append(blob, '\n')
 	if !bytes.Equal(blob, want) {
 		t.Errorf("golden fingerprint is not byte-identical.\n got: %s\nwant: %s", blob, want)
+	}
+}
+
+// advFingerprint witnesses an adversity-enabled run: same seed + same
+// fault config must reproduce not only the simulation but the injected
+// faults, the recovery tallies and the exact bytes of the merged dataset.
+type advFingerprint struct {
+	fingerprint
+	// DatasetCRC is a CRC-32C over the merged dataset (device IDs and log
+	// bytes, in sorted device order) — "byte-identical dataset" in one
+	// number.
+	DatasetCRC uint32 `json:"datasetCRC"`
+	// Injected-fault and recovery ground truth.
+	TornWrites uint64 `json:"tornWrites"`
+	BitFlips   uint64 `json:"bitFlips"`
+	Salvaged   int    `json:"salvaged"`
+	Lost       int    `json:"lost"`
+}
+
+// adversityStudyConfig is the pinned fault calibration for the golden
+// adversity run.
+func adversityStudyConfig() FieldStudyConfig {
+	return FieldStudyConfig{
+		Seed:        979797,
+		Phones:      4,
+		Duration:    2 * phone.StudyMonth,
+		JoinWindow:  phone.StudyMonth / 4,
+		UploadEvery: 2 * 24 * time.Hour,
+		Adversity: AdversityConfig{
+			Flash: phone.FlashFaults{
+				TornWriteProb:  0.6,
+				BitRotPerWrite: 0.004,
+				QuotaBytes:     512 << 10,
+			},
+			Net: collect.NetFaults{
+				RefuseProb:  0.08,
+				DropProb:    0.04,
+				CorruptProb: 0.04,
+				DropAckProb: 0.04,
+			},
+			RetryBase: 30 * time.Minute,
+			RetryMax:  8 * time.Hour,
+		},
+	}
+}
+
+func computeAdversityFingerprint(t *testing.T) advFingerprint {
+	t.Helper()
+	fs, srv, err := RunFieldStudyWithCollector(adversityStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rep := fs.Study.MTBF()
+	fp := advFingerprint{fingerprint: fingerprint{
+		Panics:        len(fs.Study.Panics()),
+		Freezes:       rep.Freezes,
+		SelfShutdowns: rep.SelfShutdowns,
+		ObservedHours: rep.ObservedHours,
+	}}
+	for _, d := range fs.Fleet.Devices {
+		fp.Boots += d.BootCount()
+		fp.TornWrites += d.FS().TornWrites()
+		fp.BitFlips += d.FS().BitFlips()
+	}
+	if ps := fs.Study.Panics(); len(ps) > 0 {
+		fp.FirstPanicKey = ps[0].Key()
+		fp.FirstPanicAt = int64(ps[0].Time)
+	}
+	for _, l := range fs.Loggers {
+		fp.LogBytes += len(l.LogBytes())
+	}
+	table := crc32.MakeTable(crc32.Castagnoli)
+	var sum uint32
+	for _, id := range fs.Dataset.Devices() {
+		data, _ := fs.Dataset.Get(id)
+		sum = crc32.Update(sum, table, []byte(id))
+		sum = crc32.Update(sum, table, data)
+		for _, r := range fs.Dataset.Records(id) {
+			fp.Salvaged += r.LogSalvaged
+			fp.Lost += r.LogLost
+		}
+	}
+	fp.DatasetCRC = sum
+	return fp
+}
+
+// TestGoldenAdversityFingerprint pins the adversity-enabled run: fault
+// injection (flash tears, bit rot, network refusals/drops/corruption/lost
+// ACKs), crash-safe recovery and the hardened collection pipeline must all
+// be pure functions of the seed, down to the merged dataset's bytes.
+func TestGoldenAdversityFingerprint(t *testing.T) {
+	path := filepath.Join("testdata", "golden_fingerprint_adversity.json")
+	got := computeAdversityFingerprint(t)
+	if got.TornWrites == 0 {
+		t.Error("adversity run injected no torn writes — the fault config is not reaching the flash")
+	}
+	if got.Salvaged == 0 {
+		t.Error("no boot-time recovery happened — torn logs are not being repaired")
+	}
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("adversity golden updated: %+v", got)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no adversity golden (run `go test -run Golden -update .`): %v", err)
+	}
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if !bytes.Equal(blob, want) {
+		t.Errorf("adversity fingerprint drifted.\n got: %s\nwant: %s\n"+
+			"If the adversity model changed intentionally, refresh with `go test -run Golden -update .`;"+
+			" otherwise fault injection is not a pure function of the seed.", blob, want)
 	}
 }
 

@@ -5,17 +5,29 @@
 // Files from the phones [1]).
 //
 // The transfer protocol is a deliberately simple line-oriented TCP
-// exchange:
+// exchange with three verbs:
 //
 //	client: UPLOAD <device-id> <n-bytes> <crc32c-hex>\n  then n raw bytes
-//	server: OK\n     on success
-//	        ERR <reason>\n otherwise
+//	server: OK\n on success, ERR <reason>\n otherwise
 //
-// The CRC-32C trailer field guards against truncated or corrupted
-// transfers — phones upload over flaky bearers.
+//	client: CHUNK <device-id> <offset> <n-bytes> <crc32c-hex>\n  then n raw bytes
+//	server: OK <stream-length>\n on success, ERR <reason>\n otherwise
 //
-// Uploads are idempotent per device: each upload replaces the previous one,
-// because devices always upload their full Log File.
+//	client: OFFSET <device-id>\n
+//	server: OK <stream-length> <crc32c-hex>\n
+//
+// UPLOAD is the legacy full-file transfer (still used for the final
+// collection at study end). CHUNK appends to a per-device server-side
+// stream at a client-stated offset, which is what makes uploads resumable:
+// after a failure only the tail past the last acknowledged offset is
+// re-sent, and OFFSET lets a client that lost an acknowledgement ask where
+// the server actually stands. The CRC-32C field guards every transfer —
+// phones upload over flaky bearers — and a chunk is acknowledged only
+// after its checksum verifies, so an acknowledgement is a durable promise.
+//
+// Merging is idempotent per device: records are deduplicated by their
+// serialized form, so re-sending data the server already holds (the
+// inevitable outcome of a lost acknowledgement) never duplicates records.
 package collect
 
 import (
@@ -103,6 +115,10 @@ func (ds *Dataset) AllRecords() map[string][]core.Record {
 	return out
 }
 
+// MaxHeaderBytes caps the protocol header line; a client that streams an
+// unterminated header cannot make the server buffer unboundedly.
+const MaxHeaderBytes = 256
+
 // Server is the collection server.
 type Server struct {
 	ds       *Dataset
@@ -111,6 +127,13 @@ type Server struct {
 	mu       sync.Mutex
 	closed   bool
 	uploads  int
+
+	// streams holds the per-device chunk streams (the raw bytes the
+	// device has pushed so far) and ackedKeys the serialized form of
+	// every record the server has ever acknowledged — the ground truth
+	// for the no-acknowledged-data-loss invariant.
+	streams   map[string][]byte
+	ackedKeys map[string]map[string]bool
 }
 
 // NewServer starts a collection server on addr ("127.0.0.1:0" picks a free
@@ -120,7 +143,12 @@ func NewServer(addr string, ds *Dataset) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
-	s := &Server{ds: ds, listener: l}
+	s := &Server{
+		ds:        ds,
+		listener:  l,
+		streams:   make(map[string][]byte),
+		ackedKeys: make(map[string]map[string]bool),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -167,38 +195,177 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	// One stalled or malicious phone must not wedge the accept loop: the
+	// whole exchange happens under a read deadline, the header line is
+	// length-capped and the payload size is bounded before allocation.
 	//symlint:allow determinism network I/O deadline on a real socket, not simulated time
 	if err := conn.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
 		return
 	}
 	r := bufio.NewReader(conn)
-	header, err := r.ReadString('\n')
-	if err != nil {
-		return
-	}
-	id, size, sum, err := parseHeader(header)
+	header, err := readLine(r, MaxHeaderBytes)
 	if err != nil {
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		return
 	}
-	data := make([]byte, size)
-	if _, err := io.ReadFull(r, data); err != nil {
-		fmt.Fprintf(conn, "ERR short body: %v\n", err)
+	fields := strings.Fields(header)
+	if len(fields) == 0 {
+		fmt.Fprint(conn, "ERR bad header\n")
 		return
 	}
+	switch fields[0] {
+	case "UPLOAD":
+		s.handleUpload(conn, r, fields)
+	case "CHUNK":
+		s.handleChunk(conn, r, fields)
+	case "OFFSET":
+		s.handleOffset(conn, fields)
+	default:
+		fmt.Fprint(conn, "ERR bad header\n")
+	}
+}
+
+// readLine reads one \n-terminated line of at most max bytes without ever
+// buffering more than that.
+func readLine(r *bufio.Reader, max int) (string, error) {
+	var line []byte
+	for len(line) < max {
+		c, err := r.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("short header: %v", err)
+		}
+		if c == '\n' {
+			return string(line), nil
+		}
+		line = append(line, c)
+	}
+	return "", errors.New("header too long")
+}
+
+// readBody reads a size-declared, checksum-guarded payload.
+func readBody(r *bufio.Reader, size int, sum uint32) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("short body: %v", err)
+	}
 	if got := crc32.Checksum(data, castagnoli); got != sum {
-		fmt.Fprintf(conn, "ERR checksum mismatch: got %08x want %08x\n", got, sum)
+		return nil, fmt.Errorf("checksum mismatch: got %08x want %08x", got, sum)
+	}
+	return data, nil
+}
+
+// handleUpload serves the legacy full-file transfer.
+func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
+	id, size, sum, err := parseHeader(fields)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	data, err := readBody(r, size, sum)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
 		return
 	}
 	s.ds.PutMerged(id, data)
 	s.mu.Lock()
 	s.uploads++
+	s.recordAckedLocked(id, data)
 	s.mu.Unlock()
 	fmt.Fprint(conn, "OK\n")
 }
 
-func parseHeader(line string) (id string, size int, sum uint32, err error) {
-	fields := strings.Fields(strings.TrimSpace(line))
+// handleChunk appends a verified chunk to the device's stream at the
+// client-stated offset and acknowledges the resulting stream length. An
+// offset short of the stream end rewinds it (the client re-synced after a
+// log rotation or master reset); an offset past the end is a gap the
+// client must resolve via OFFSET. Every acknowledged stream is merged into
+// the dataset before the ACK is sent, so an acknowledgement is a durable
+// promise even if the stream is later rewound.
+func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
+	if len(fields) != 5 {
+		fmt.Fprint(conn, "ERR bad header\n")
+		return
+	}
+	id := fields[1]
+	offset, err := strconv.Atoi(fields[2])
+	if err != nil || offset < 0 || offset > MaxUploadBytes {
+		fmt.Fprint(conn, "ERR bad offset\n")
+		return
+	}
+	size, err := strconv.Atoi(fields[3])
+	if err != nil || size < 0 || offset+size > MaxUploadBytes {
+		fmt.Fprint(conn, "ERR bad size\n")
+		return
+	}
+	crc, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		fmt.Fprint(conn, "ERR bad checksum\n")
+		return
+	}
+	chunk, err := readBody(r, size, uint32(crc))
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	s.mu.Lock()
+	stream := s.streams[id]
+	if offset > len(stream) {
+		n := len(stream)
+		s.mu.Unlock()
+		fmt.Fprintf(conn, "ERR gap: stream at %d, chunk at %d\n", n, offset)
+		return
+	}
+	stream = append(stream[:offset:offset], chunk...)
+	s.streams[id] = stream
+	merged := append([]byte(nil), stream...)
+	s.uploads++
+	s.recordAckedLocked(id, merged)
+	s.mu.Unlock()
+	s.ds.PutMerged(id, merged)
+	fmt.Fprintf(conn, "OK %d\n", len(stream))
+}
+
+// handleOffset reports how much of the device's stream the server holds.
+func (s *Server) handleOffset(conn net.Conn, fields []string) {
+	if len(fields) != 2 {
+		fmt.Fprint(conn, "ERR bad header\n")
+		return
+	}
+	s.mu.Lock()
+	stream := s.streams[fields[1]]
+	n, sum := len(stream), crc32.Checksum(stream, castagnoli)
+	s.mu.Unlock()
+	fmt.Fprintf(conn, "OK %d %08x\n", n, sum)
+}
+
+// recordAckedLocked notes every record in data as acknowledged. Caller
+// holds s.mu.
+func (s *Server) recordAckedLocked(id string, data []byte) {
+	keys := s.ackedKeys[id]
+	if keys == nil {
+		keys = make(map[string]bool)
+		s.ackedKeys[id] = keys
+	}
+	for _, rec := range core.ParseRecords(data) {
+		keys[string(core.EncodeRecord(rec))] = true
+	}
+}
+
+// AckedKeys returns the serialized form of every record the server has
+// ever acknowledged for a device, sorted. The chaos harness checks each
+// one appears exactly once in the final merged dataset.
+func (s *Server) AckedKeys(id string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.ackedKeys[id]))
+	for k := range s.ackedKeys[id] {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parseHeader(fields []string) (id string, size int, sum uint32, err error) {
 	if len(fields) != 4 || fields[0] != "UPLOAD" {
 		return "", 0, 0, errors.New("bad header")
 	}

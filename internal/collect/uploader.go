@@ -1,26 +1,61 @@
 package collect
 
 import (
+	"hash/crc32"
 	"time"
 
 	"symfail/internal/phone"
+	"symfail/internal/sim"
 )
+
+// UploaderConfig calibrates the hardened uploader.
+type UploaderConfig struct {
+	// Every is the periodic upload interval in simulated time.
+	Every time.Duration
+	// RetryBase enables retry-with-backoff when non-zero: after a failed
+	// attempt the uploader retries after RetryBase, doubling per
+	// consecutive failure up to RetryMax, with multiplicative jitter when
+	// Rng is set. Retries are scheduled on the sim clock, between the
+	// periodic ticks.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (defaults to Every when zero).
+	RetryMax time.Duration
+	// Rng drives the retry jitter (a Split() child of the device stream).
+	// Nil means deterministic backoff without jitter.
+	Rng *sim.Rand
+	// Transport carries the bytes; nil means the real NetTransport.
+	Transport Transport
+}
 
 // Uploader periodically pushes a device's Log File to the collection
 // server while the phone is on — the paper's automated software
 // infrastructure for transferring Log Files from the phones [1]. Uploads
-// are full-file and idempotent, so a phone that dies between uploads only
-// loses the tail the server never saw; the final collection at study end
-// picks that up.
+// are resumable: the uploader tracks the server-acknowledged offset and
+// ships only the tail past it, so a long study log is not re-sent on every
+// tick and a failed transfer only costs the tail. The server's idempotent
+// merge makes re-sends after a lost acknowledgement harmless.
 type Uploader struct {
-	dev   *phone.Device
-	addr  string
-	every time.Duration
-	path  string
+	dev  *phone.Device
+	addr string
+	path string
+	cfg  UploaderConfig
 
-	attempts  int
-	successes int
-	lastErr   error
+	// acked is how much of the local file the server has acknowledged;
+	// ackedCRC is the CRC-32C of that prefix, which detects rotation or a
+	// master reset having rewritten history underneath the offset.
+	acked    int
+	ackedCRC uint32
+	// resync asks the next attempt to query the server's offset first —
+	// set after any failure, because a lost acknowledgement means the
+	// server may be further along than we think.
+	resync bool
+
+	attempts     int
+	successes    int
+	failStreak   int
+	retryPending bool
+	bytesSent    int64
+	lastErr      error
 }
 
 // AttachUploader installs a periodic uploader on a device. path is the
@@ -32,27 +67,80 @@ type Uploader struct {
 // host time inside the simulation event, which is how a transfer that is
 // near-instant relative to phone timescales should behave.
 func AttachUploader(d *phone.Device, addr, path string, every time.Duration) *Uploader {
-	u := &Uploader{dev: d, addr: addr, every: every, path: path}
+	return AttachUploaderWith(d, addr, path, UploaderConfig{Every: every})
+}
+
+// AttachUploaderWith installs an uploader with full calibration.
+func AttachUploaderWith(d *phone.Device, addr, path string, cfg UploaderConfig) *Uploader {
+	if cfg.Transport == nil {
+		cfg.Transport = NetTransport{}
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = cfg.Every
+	}
+	u := &Uploader{dev: d, addr: addr, path: path, cfg: cfg}
 	u.loop()
 	return u
 }
 
-// Attempts returns how many uploads were tried.
+// Attempts returns how many uploads were tried (retries included).
 func (u *Uploader) Attempts() int { return u.attempts }
 
 // Successes returns how many uploads the server acknowledged.
 func (u *Uploader) Successes() int { return u.successes }
 
-// LastErr returns the most recent upload error (nil when clean).
+// BytesSent returns the cumulative payload bytes shipped. With resumable
+// uploads this tracks the log's growth, not successes × file size.
+func (u *Uploader) BytesSent() int64 { return u.bytesSent }
+
+// LastErr returns the most recent upload error. A successful upload clears
+// it to nil, so a non-nil value means "currently failing", not "failed
+// once ever".
 func (u *Uploader) LastErr() error { return u.lastErr }
 
 func (u *Uploader) loop() {
-	u.dev.Engine().After(u.every, "upload "+u.dev.ID(), func() {
+	u.dev.Engine().After(u.cfg.Every, "upload "+u.dev.ID(), func() {
 		if u.dev.State() == phone.StateOn {
 			u.uploadNow()
 		}
 		u.loop()
 	})
+}
+
+// scheduleRetry arms a one-shot retry between periodic ticks, with
+// exponential backoff and jitter. Disabled retries (RetryBase zero) and
+// backoffs that would land past the next periodic tick are skipped — the
+// tick itself is the retry of last resort.
+func (u *Uploader) scheduleRetry() {
+	if u.cfg.RetryBase <= 0 || u.retryPending {
+		return
+	}
+	delay := u.cfg.RetryBase << (u.failStreak - 1)
+	if u.failStreak > 20 || delay > u.cfg.RetryMax || delay <= 0 {
+		delay = u.cfg.RetryMax
+	}
+	if u.cfg.Rng != nil {
+		// Jitter in [0.5, 1.5): phones that failed together (a server
+		// outage) must not retry in lockstep.
+		delay = time.Duration(float64(delay) * (0.5 + u.cfg.Rng.Float64()))
+	}
+	if delay >= u.cfg.Every {
+		return
+	}
+	u.retryPending = true
+	u.dev.Engine().After(delay, "upload-retry "+u.dev.ID(), func() {
+		u.retryPending = false
+		if u.dev.State() == phone.StateOn {
+			u.uploadNow()
+		}
+	})
+}
+
+func (u *Uploader) fail(err error) {
+	u.lastErr = err
+	u.failStreak++
+	u.resync = true
+	u.scheduleRetry()
 }
 
 func (u *Uploader) uploadNow() {
@@ -61,10 +149,39 @@ func (u *Uploader) uploadNow() {
 		return // nothing logged yet
 	}
 	u.attempts++
-	if err := Upload(u.addr, u.dev.ID(), data); err != nil {
-		// Flaky networks must not crash the phone; try again next period.
-		u.lastErr = err
+	// The acknowledged prefix must still be the file's prefix; rotation or
+	// a master reset rewrites history and forces a full re-send (the
+	// server's merge dedups whatever it already had).
+	if u.acked > len(data) || crc32.Checksum(data[:u.acked], castagnoli) != u.ackedCRC {
+		u.acked, u.ackedCRC = 0, 0
+	}
+	if u.resync {
+		n, sum, err := u.cfg.Transport.Offset(u.addr, u.dev.ID())
+		if err != nil {
+			u.fail(err)
+			return
+		}
+		if n <= len(data) && crc32.Checksum(data[:n], castagnoli) == sum {
+			// The server is exactly n bytes into our file (a lost ACK
+			// left it ahead of our record); resume from there.
+			u.acked, u.ackedCRC = n, sum
+		} else {
+			// The server's stream is not a prefix of our file (master
+			// reset, rotation): start the stream over from 0.
+			u.acked, u.ackedCRC = 0, 0
+		}
+		u.resync = false
+	}
+	tail := data[u.acked:]
+	if _, err := u.cfg.Transport.UploadChunk(u.addr, u.dev.ID(), u.acked, tail); err != nil {
+		// Flaky networks must not crash the phone; back off and retry.
+		u.fail(err)
 		return
 	}
+	u.bytesSent += int64(len(tail))
+	u.acked = len(data)
+	u.ackedCRC = crc32.Checksum(data, castagnoli)
 	u.successes++
+	u.failStreak = 0
+	u.lastErr = nil
 }

@@ -43,6 +43,16 @@ func TestUploaderShipsLogsPeriodically(t *testing.T) {
 	if u.Attempts() != u.Successes() {
 		t.Errorf("attempts %d != successes %d (lastErr %v)", u.Attempts(), u.Successes(), u.LastErr())
 	}
+	// Resumable uploads ship only the tail past the last ACK: total
+	// traffic tracks the log's size, not successes × file size.
+	final, _ := d.FS().Read(l.Config().LogPath)
+	if u.BytesSent() == 0 {
+		t.Error("BytesSent = 0 after successful uploads")
+	}
+	if naive := int64(u.Successes()) * int64(len(final)); u.BytesSent() > int64(2*len(final)) {
+		t.Errorf("BytesSent = %d, want tail-only re-sends near %d (full-file per tick would be %d)",
+			u.BytesSent(), len(final), naive)
+	}
 	// The server holds the device's latest log; it parses to the same
 	// records as the on-flash file (modulo anything after the last upload).
 	recs := ds.Records("upl-test")

@@ -59,6 +59,6 @@ func (x *DExc) startHook(d *phone.Device) {
 			PType:    p.Type,
 			// Deliberately no Apps and no Activity: D_EXC cannot see them.
 		}
-		d.FS().Append(x.path, EncodeRecord(rec))
+		d.FS().Append(x.path, FrameRecord(rec))
 	})
 }

@@ -138,11 +138,13 @@ func (l *Logger) startDaemon(d *phone.Device) {
 	dm.sysAgent = d.SysAgentServer().Connect(t)
 	dm.files = d.FileServer().Connect(t)
 
-	// Boot-time work of the Panic Detector: classify how the previous
-	// session ended from the last heartbeat record, consolidate a boot
-	// record, and reset the heartbeat.
+	// Boot-time work of the Panic Detector: repair the Log File from its
+	// on-flash bytes (a battery pull can tear the last append), classify
+	// how the previous session ended from the last heartbeat record,
+	// consolidate a boot record, and reset the heartbeat.
 	k.Exec(t, "logger-boot", func() {
-		dm.consolidateBoot()
+		recovered := dm.recoverLog()
+		dm.consolidateBoot(recovered)
 		dm.writeBeat(BeatAlive)
 	})
 
@@ -203,21 +205,57 @@ func (l *Logger) startDaemon(d *phone.Device) {
 	})
 }
 
-// writeBeat replaces the heartbeat record on flash, through the file
-// server like any other Symbian application.
+// maxBeatsBytes caps the append-only heartbeat file; past it the file is
+// compacted down to the newest beat (only the last beat matters to the
+// boot-time detector).
+const maxBeatsBytes = 4 << 10
+
+// writeBeat records the heartbeat on flash, through the file server like
+// any other Symbian application. Beats are *appended* as checksummed
+// frames rather than rewriting the file in place: a torn append only
+// damages the newest frame, and recovery falls back to the previous beat —
+// rewriting in place would risk destroying the very record the freeze
+// detector depends on.
 func (dm *daemon) writeBeat(kind BeatKind) {
-	dm.files.WriteFile(dm.l.cfg.BeatsPath, EncodeBeat(Beat{Kind: kind, Time: int64(dm.k.Now())}))
+	frame := EncodeFrame(EncodeBeat(Beat{Kind: kind, Time: int64(dm.k.Now())}))
+	if data, code := dm.files.ReadFile(dm.l.cfg.BeatsPath); code == symbos.KErrNone &&
+		len(data)+len(frame) > maxBeatsBytes {
+		dm.files.WriteFile(dm.l.cfg.BeatsPath, frame)
+		return
+	}
+	dm.files.AppendFile(dm.l.cfg.BeatsPath, frame)
+}
+
+// recoverLog repairs the consolidated Log File from its on-flash bytes:
+// intact frames are kept, torn tails truncated, corrupt regions excised.
+// The logger sees only what a real logger could see — the repair works
+// from flash content, never from simulator ground truth.
+func (dm *daemon) recoverLog() Recovery {
+	data, code := dm.files.ReadFile(dm.l.cfg.LogPath)
+	if code != symbos.KErrNone || len(data) == 0 {
+		return Recovery{}
+	}
+	rec := RecoverLog(data)
+	if rec.Dirty {
+		dm.files.WriteFile(dm.l.cfg.LogPath, rec.Clean)
+	}
+	return rec
 }
 
 // consolidateBoot reads the last heartbeat record and appends the boot
-// record that section 5.2's decision procedure implies.
-func (dm *daemon) consolidateBoot() {
+// record that section 5.2's decision procedure implies, carrying the log
+// recovery tally when the previous session's file needed repair.
+func (dm *daemon) consolidateBoot(recovered Recovery) {
 	now := dm.k.Now()
 	rec := Record{
 		Kind:      KindBoot,
 		Time:      int64(now),
 		Boot:      dm.dev.BootCount(),
 		OSVersion: dm.dev.OSVersion(),
+	}
+	if recovered.Dirty {
+		rec.LogSalvaged = recovered.Salvaged
+		rec.LogLost = recovered.Lost
 	}
 	if data, code := dm.files.ReadFile(dm.l.cfg.BeatsPath); code == symbos.KErrNone {
 		if beat, valid := ParseBeat(data); valid {
@@ -311,15 +349,15 @@ func (dm *daemon) currentActivity(at sim.Time) string {
 	return "unspecified"
 }
 
-// append adds a record to the consolidated Log File, rotating when the
-// flash budget is exhausted.
+// append adds a record to the consolidated Log File as a checksummed
+// frame, rotating when the flash budget is exhausted.
 func (dm *daemon) append(rec Record) {
-	line := EncodeRecord(rec)
+	frame := FrameRecord(rec)
 	if data, code := dm.files.ReadFile(dm.l.cfg.LogPath); code == symbos.KErrNone &&
-		len(data)+len(line) > dm.l.cfg.MaxLogBytes {
-		dm.files.WriteFile(dm.l.cfg.LogPath, rotate(data, dm.l.cfg.MaxLogBytes/2))
+		len(data)+len(frame) > dm.l.cfg.MaxLogBytes {
+		dm.files.WriteFile(dm.l.cfg.LogPath, rotateFramed(data, dm.l.cfg.MaxLogBytes/2))
 	}
-	dm.files.AppendFile(dm.l.cfg.LogPath, line)
+	dm.files.AppendFile(dm.l.cfg.LogPath, frame)
 }
 
 // rotate drops the oldest records so at most keep bytes remain, cutting at

@@ -101,6 +101,13 @@ type Record struct {
 	PType    int      `json:"ptype,omitempty"`
 	Apps     []string `json:"apps,omitempty"`
 	Activity string   `json:"activity,omitempty"`
+
+	// Boot-time log recovery tally (set only when the previous session's
+	// Log File was damaged — torn tail or bit rot — and had to be
+	// repaired): how many records survived and how many corrupt regions
+	// were excised.
+	LogSalvaged int `json:"salvaged,omitempty"`
+	LogLost     int `json:"lost,omitempty"`
 }
 
 // When returns the record timestamp as a sim.Time.
@@ -125,11 +132,23 @@ func EncodeRecord(r Record) []byte {
 	return append(data, '\n')
 }
 
-// ParseRecords parses a Log File (JSON lines). Truncated or corrupt lines
-// are skipped — flash writes can be cut short by power loss, and a log
-// analyser must survive that.
+// ParseRecords parses a Log File. Framed logs (the on-flash format since
+// crash-safe logging — first byte is FrameMagic) go through frame recovery
+// so only checksum-verified records surface; legacy bare JSON lines are
+// parsed line-wise with truncated or corrupt lines skipped — flash writes
+// can be cut short by power loss, and a log analyser must survive that.
 func ParseRecords(data []byte) []Record {
 	var out []Record
+	if len(data) > 0 && data[0] == FrameMagic {
+		for _, payload := range RecoverLog(data).Payloads {
+			var r Record
+			if err := json.Unmarshal(payload, &r); err != nil {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out
+	}
 	for _, line := range bytes.Split(data, []byte{'\n'}) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -152,9 +171,26 @@ func EncodeBeat(b Beat) []byte {
 	return data
 }
 
-// ParseBeat parses the heartbeat file. ok is false when the file is absent
-// or corrupt (treated as a first boot).
+// ParseBeat parses the heartbeat file and returns the most recent valid
+// beat. ok is false when the file is absent or corrupt (treated as a first
+// boot). Framed files (the crash-safe append-only format) are scanned with
+// frame recovery and the last intact beat wins — a torn append therefore
+// falls back to the previous beat instead of destroying the detector's
+// evidence; legacy single-JSON files parse directly.
 func ParseBeat(data []byte) (Beat, bool) {
+	if len(data) > 0 && data[0] == FrameMagic {
+		payloads := RecoverLog(data).Payloads
+		for i := len(payloads) - 1; i >= 0; i-- {
+			if b, ok := parseBeatPayload(payloads[i]); ok {
+				return b, true
+			}
+		}
+		return Beat{}, false
+	}
+	return parseBeatPayload(data)
+}
+
+func parseBeatPayload(data []byte) (Beat, bool) {
 	var b Beat
 	if err := json.Unmarshal(data, &b); err != nil {
 		return Beat{}, false

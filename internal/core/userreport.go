@@ -152,7 +152,7 @@ func (u *UserReporter) startHook(d *phone.Device) {
 				Detected: Detection(detail),
 				Activity: activity,
 			}
-			d.FS().Append(u.cfg.LogPath, EncodeRecord(rec))
+			d.FS().Append(u.cfg.LogPath, FrameRecord(rec))
 		})
 	})
 }

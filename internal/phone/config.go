@@ -169,6 +169,14 @@ type Config struct {
 	// LowBatteryThreshold triggers a LOWBT shutdown.
 	LowBatteryThreshold float64
 
+	// Adversity ---------------------------------------------------------
+
+	// Flash arms the flash fault model (torn writes on power loss, bit
+	// rot, flash-full quota). The zero value keeps the flash perfect and
+	// leaves every RNG stream untouched, so pre-adversity runs reproduce
+	// bit for bit.
+	Flash FlashFaults
+
 	// Logger-visible plumbing -------------------------------------------
 
 	// HeartbeatPeriod is how often the logger's Heartbeat AO writes an

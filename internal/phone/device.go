@@ -103,7 +103,7 @@ type OutputFailure struct {
 // NewDevice creates a phone. It is off until Enroll schedules its first
 // boot.
 func NewDevice(id string, eng *sim.Engine, cfg Config) *Device {
-	return &Device{
+	d := &Device{
 		id:              id,
 		eng:             eng,
 		rng:             sim.NewRand(cfg.Seed),
@@ -115,7 +115,18 @@ func NewDevice(id string, eng *sim.Engine, cfg Config) *Device {
 		apps:            make(map[string]*App),
 		currentActivity: ActIdle,
 	}
+	// Split only when faults are armed: an idle adversity config must not
+	// perturb the device's RNG stream.
+	if cfg.Flash.Enabled() {
+		d.fs.EnableFaults(cfg.Flash, d.rng.Split())
+	}
+	return d
 }
+
+// SplitRand derives an independent child RNG from the device stream (for
+// per-device adversity consumers like the faulty network transport). Call
+// order is part of the deterministic contract.
+func (d *Device) SplitRand() *sim.Rand { return d.rng.Split() }
 
 // ID returns the device identifier.
 func (d *Device) ID() string { return d.id }
@@ -340,6 +351,8 @@ func (d *Device) Freeze(cause string) {
 			return
 		}
 		d.oracle.record(TruthBatteryPull, d.eng.Now(), cause, d.currentActivity)
+		// Power vanishes mid-write: the write in flight may tear.
+		d.fs.Crash()
 		d.state = StateOff
 		off := d.rng.LogNormalDuration(d.cfg.BatteryPullOffMedian, d.cfg.BatteryPullOffSigma)
 		d.eng.After(off, "boot "+d.id, d.boot)

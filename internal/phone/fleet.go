@@ -28,6 +28,10 @@ type FleetConfig struct {
 	// UniformPersonas keeps every default-config device on the balanced
 	// persona (used by tests that pin rates).
 	UniformPersonas bool
+	// Flash arms the flash fault model on every device. Applied after the
+	// persona/OS draws so enabling adversity does not change which persona
+	// or OS version a device gets.
+	Flash FlashFaults
 }
 
 // DefaultFleetConfig mirrors the paper's deployment.
@@ -86,6 +90,9 @@ func NewFleet(cfg FleetConfig) *Fleet {
 				weights[j] = v.weight
 			}
 			devCfg.OSVersion = osVersionMix[r.WeightedIndex(weights)].version
+		}
+		if cfg.Flash.Enabled() {
+			devCfg.Flash = cfg.Flash
 		}
 		d := NewDevice(fmt.Sprintf("phone-%02d", i+1), eng, devCfg)
 		var join time.Duration

@@ -3,32 +3,151 @@ package phone
 import (
 	"fmt"
 	"sort"
+
+	"symfail/internal/sim"
 )
+
+// FlashFaults calibrates the adversity model of the flash medium. The zero
+// value is a perfect flash (the pre-adversity behaviour, bit for bit). All
+// randomness comes from a Split() child of the device RNG, so fault
+// injection is a pure function of the seed.
+type FlashFaults struct {
+	// TornWriteProb is the chance that the write in flight when power is
+	// lost abruptly (a frozen phone's battery pull) persists only a
+	// prefix. Orderly shutdowns flush and never tear.
+	TornWriteProb float64
+	// BitRotPerWrite is the per-write-operation chance that one stored
+	// bit of the file being written flips at rest (worn NAND cells).
+	BitRotPerWrite float64
+	// QuotaBytes caps total flash occupancy; writes that would exceed it
+	// are rejected (the file server reports KErrDiskFull). Zero means
+	// unlimited.
+	QuotaBytes int
+}
+
+// Enabled reports whether any fault mode is active.
+func (c FlashFaults) Enabled() bool {
+	return c.TornWriteProb > 0 || c.BitRotPerWrite > 0 || c.QuotaBytes > 0
+}
 
 // FS is the phone's flash filesystem. It persists across reboots, freezes
 // and battery pulls — which is precisely why the paper's logger can infer a
 // freeze at the next boot: the last heartbeat record survives on flash.
+//
+// With EnableFaults it also misbehaves the way study-era flash did: an
+// abrupt power loss can tear the most recent write down to a prefix, worn
+// cells flip bits, and the medium fills up.
 type FS struct {
 	files  map[string][]byte
 	writes uint64
+
+	faults FlashFaults
+	rng    *sim.Rand
+
+	// The most recent write is the one "in flight" when power vanishes:
+	// a later write implicitly syncs it.
+	lastPath string
+	lastOff  int // file length before the last write landed
+	lastN    int // bytes the last write added past lastOff
+
+	tornWrites   uint64
+	bitFlips     uint64
+	quotaRejects uint64
 }
 
-// NewFS returns an empty filesystem.
+// NewFS returns an empty, perfect filesystem.
 func NewFS() *FS {
 	return &FS{files: make(map[string][]byte)}
 }
 
-// Write replaces the contents of path.
-func (f *FS) Write(path string, data []byte) {
-	f.files[path] = append([]byte(nil), data...)
-	f.writes++
+// EnableFaults arms the adversity model. rng must be a Split() child of
+// the device RNG (the call order of Split is part of the deterministic
+// contract); cfg's zero value disarms faults again.
+func (f *FS) EnableFaults(cfg FlashFaults, rng *sim.Rand) {
+	f.faults = cfg
+	f.rng = rng
 }
 
-// Append adds data to the end of path, creating it if needed.
-func (f *FS) Append(path string, data []byte) {
+// Write replaces the contents of path. It reports false when the flash
+// quota would be exceeded (the write is rejected whole, like a full
+// medium).
+func (f *FS) Write(path string, data []byte) bool {
+	if !f.CanWrite(path, data) {
+		f.quotaRejects++
+		return false
+	}
+	f.files[path] = append([]byte(nil), data...)
+	f.writes++
+	f.noteWrite(path, 0, len(data))
+	return true
+}
+
+// Append adds data to the end of path, creating it if needed. It reports
+// false when the flash quota would be exceeded.
+func (f *FS) Append(path string, data []byte) bool {
+	if !f.CanAppend(path, data) {
+		f.quotaRejects++
+		return false
+	}
+	off := len(f.files[path])
 	f.files[path] = append(f.files[path], data...)
 	f.writes++
+	f.noteWrite(path, off, len(data))
+	return true
 }
+
+// CanWrite reports whether replacing path with data fits the quota.
+func (f *FS) CanWrite(path string, data []byte) bool {
+	return f.faults.QuotaBytes <= 0 ||
+		f.TotalSize()-len(f.files[path])+len(data) <= f.faults.QuotaBytes
+}
+
+// CanAppend reports whether appending data to path fits the quota.
+func (f *FS) CanAppend(path string, data []byte) bool {
+	return f.faults.QuotaBytes <= 0 || f.TotalSize()+len(data) <= f.faults.QuotaBytes
+}
+
+// noteWrite tracks the in-flight write and applies bit rot to the file
+// just written.
+func (f *FS) noteWrite(path string, off, n int) {
+	f.lastPath, f.lastOff, f.lastN = path, off, n
+	if f.faults.BitRotPerWrite <= 0 || f.rng == nil {
+		return
+	}
+	if file := f.files[path]; len(file) > 0 && f.rng.Bool(f.faults.BitRotPerWrite) {
+		bit := f.rng.Intn(len(file) * 8)
+		file[bit/8] ^= 1 << (bit % 8)
+		f.bitFlips++
+	}
+}
+
+// Crash models an abrupt power loss (battery pulled from a frozen phone):
+// with TornWriteProb the most recent write persists only a prefix of what
+// it wrote. Orderly shutdowns must not call this — Symbian flushes file
+// buffers on the way down.
+func (f *FS) Crash() {
+	if f.rng == nil || f.lastN == 0 || !f.rng.Bool(f.faults.TornWriteProb) {
+		return
+	}
+	file, ok := f.files[f.lastPath]
+	if !ok || len(file) < f.lastOff+f.lastN {
+		return // the file shrank since (rewrite/delete); nothing in flight
+	}
+	keep := f.rng.Intn(f.lastN) // strictly less than lastN: a true tear
+	f.files[f.lastPath] = file[:f.lastOff+keep]
+	f.tornWrites++
+	f.lastN = 0
+}
+
+// TornWrites, BitFlips and QuotaRejects count injected flash faults
+// (ground truth for experiments; the logger never reads these).
+func (f *FS) TornWrites() uint64 { return f.tornWrites }
+
+// BitFlips counts injected bit-rot events.
+func (f *FS) BitFlips() uint64 { return f.bitFlips }
+
+// QuotaRejects counts writes rejected by the flash-full quota.
+func (f *FS) QuotaRejects() uint64 { return f.quotaRejects }
 
 // Read returns the contents of path and whether it exists. The returned
 // slice is a copy; callers cannot corrupt the stored file.

@@ -14,6 +14,7 @@ const (
 	KErrOverflow     = -9
 	KErrInUse        = -14
 	KErrServerBusy   = -16
+	KErrDiskFull     = -26
 	KErrDisconnected = -36
 )
 
@@ -38,6 +39,8 @@ func ErrName(code int) string {
 		return "KErrInUse"
 	case KErrServerBusy:
 		return "KErrServerBusy"
+	case KErrDiskFull:
+		return "KErrDiskFull"
 	case KErrDisconnected:
 		return "KErrDisconnected"
 	default:

@@ -18,10 +18,12 @@ const (
 )
 
 // Store is the backing medium the file server manages (the phone package's
-// flash filesystem implements it).
+// flash filesystem implements it). Write and Append report false when the
+// medium rejects the operation — a full flash — which the file server
+// surfaces as KErrDiskFull.
 type Store interface {
-	Write(path string, data []byte)
-	Append(path string, data []byte)
+	Write(path string, data []byte) bool
+	Append(path string, data []byte) bool
 	Read(path string) ([]byte, bool)
 	Delete(path string)
 	Exists(path string) bool
@@ -54,10 +56,15 @@ func (f *FileServer) handle(m *Message) {
 			m.Complete(KErrArgument)
 			return
 		}
+		var stored bool
 		if m.Op == FsOpWrite {
-			f.store.Write(path, []byte(data))
+			stored = f.store.Write(path, []byte(data))
 		} else {
-			f.store.Append(path, []byte(data))
+			stored = f.store.Append(path, []byte(data))
+		}
+		if !stored {
+			m.Complete(KErrDiskFull)
+			return
 		}
 		m.Complete(KErrNone)
 	case FsOpRead:

@@ -9,8 +9,14 @@ import (
 // mapStore is a minimal Store for tests.
 type mapStore map[string][]byte
 
-func (m mapStore) Write(path string, data []byte)  { m[path] = append([]byte(nil), data...) }
-func (m mapStore) Append(path string, data []byte) { m[path] = append(m[path], data...) }
+func (m mapStore) Write(path string, data []byte) bool {
+	m[path] = append([]byte(nil), data...)
+	return true
+}
+func (m mapStore) Append(path string, data []byte) bool {
+	m[path] = append(m[path], data...)
+	return true
+}
 func (m mapStore) Read(path string) ([]byte, bool) {
 	d, ok := m[path]
 	return d, ok

@@ -61,6 +61,30 @@ type FieldStudyConfig struct {
 	// WithDExc additionally installs the panic-only D_EXC baseline
 	// collector on every phone; its logs land in BaselineDataset.
 	WithDExc bool
+	// Adversity arms the deterministic fault-injection layer (flash and
+	// network). The zero value runs the pre-adversity study bit for bit.
+	Adversity AdversityConfig
+}
+
+// AdversityConfig calibrates the fault-injection layer. Everything is a
+// pure function of the study seed: the same seed and config produce the
+// same faults, byte for byte.
+type AdversityConfig struct {
+	// Flash arms the flash fault model on every phone (torn writes on
+	// battery pull, bit rot, flash-full quota).
+	Flash phone.FlashFaults
+	// Net wraps every phone's uploader transport in deterministic network
+	// adversity (refused connections, mid-transfer drops, payload
+	// corruption, lost acknowledgements).
+	Net collect.NetFaults
+	// RetryBase/RetryMax arm the uploader's exponential backoff between
+	// periodic ticks (zero RetryBase leaves retrying to the next tick).
+	RetryBase, RetryMax time.Duration
+}
+
+// Enabled reports whether any adversity is armed.
+func (c AdversityConfig) Enabled() bool {
+	return c.Flash.Enabled() || c.Net.Enabled()
 }
 
 // DefaultFieldStudyConfig mirrors the paper's deployment.
@@ -107,6 +131,7 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 		Duration:   cfg.Duration,
 		JoinWindow: cfg.JoinWindow,
 		Device:     cfg.Device,
+		Flash:      cfg.Adversity.Flash,
 	})
 	loggers := make([]*core.Logger, 0, len(fleet.Devices))
 	var reporters []*core.UserReporter
@@ -121,7 +146,19 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 			baselines = append(baselines, core.InstallDExc(d, ""))
 		}
 		if cfg.CollectorAddr != "" && cfg.UploadEvery > 0 {
-			collect.AttachUploader(d, cfg.CollectorAddr, l.Config().LogPath, cfg.UploadEvery)
+			ucfg := collect.UploaderConfig{
+				Every:     cfg.UploadEvery,
+				RetryBase: cfg.Adversity.RetryBase,
+				RetryMax:  cfg.Adversity.RetryMax,
+			}
+			if cfg.Adversity.Net.Enabled() {
+				// One Split child drives the injected faults, another the
+				// retry jitter; both are derived here, in device order, so
+				// the whole adversity run is a function of the seed.
+				ucfg.Transport = collect.NewFaultyTransport(nil, cfg.Adversity.Net, d.SplitRand())
+				ucfg.Rng = d.SplitRand()
+			}
+			collect.AttachUploaderWith(d, cfg.CollectorAddr, l.Config().LogPath, ucfg)
 		}
 	}
 	if err := fleet.Run(); err != nil {
