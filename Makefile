@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check chaos test test-short bench repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint check chaos parallel test test-short bench bench-parallel repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -22,9 +22,15 @@ check: vet lint
 	$(GO) test -race -short ./...
 
 # The chaos harness: the fleet under deterministic flash + network fault
-# injection, under the race detector (see DESIGN.md §8).
+# injection, sharded across workers, under the race detector (see
+# DESIGN.md §8, §9).
 chaos:
 	$(GO) test -race -run 'Chaos' -v .
+
+# Serial-vs-parallel equivalence: workers 1/2/4/8 must reproduce the
+# golden fingerprints byte-for-byte, under the race detector (DESIGN.md §9).
+parallel:
+	$(GO) test -race -run 'ParallelEquivalence' -v .
 
 test:
 	$(GO) test ./...
@@ -34,6 +40,10 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fleet-scaling grid (phones x workers) -> BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run xxx -bench BenchmarkFleetScaling -benchtime 1x .
 
 # The whole paper: sections 4-6, every table and figure (~10 s).
 repro:

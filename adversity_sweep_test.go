@@ -22,6 +22,7 @@ func TestAdversitySweepTable(t *testing.T) {
 			cfg := FieldStudyConfig{
 				Seed:        555,
 				Phones:      8,
+				Workers:     4, // the sweep rides the sharded path, like CI's race run
 				Duration:    4 * phone.StudyMonth,
 				JoinWindow:  phone.StudyMonth / 2,
 				UploadEvery: 3 * 24 * time.Hour,

@@ -12,11 +12,15 @@ import (
 // chaosConfig runs a mid-size fleet under the full adversity menu: torn
 // flash writes on every battery pull, bit rot, a flash quota, and a ~20%
 // total network-fault rate (refusals, mid-transfer drops, payload
-// corruption, lost ACKs) with backoff-and-retry enabled.
+// corruption, lost ACKs) with backoff-and-retry enabled. The fleet runs
+// sharded (Workers > 1) so fault injection and parallel execution are
+// exercised together — `make chaos` runs this under -race, which is the
+// harness the CI uses to prove the sharded adversity path is race-free.
 func chaosConfig(seed uint64) FieldStudyConfig {
 	return FieldStudyConfig{
 		Seed:        seed,
 		Phones:      6,
+		Workers:     4,
 		Duration:    3 * phone.StudyMonth,
 		JoinWindow:  phone.StudyMonth / 2,
 		UploadEvery: 3 * 24 * time.Hour,

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	symfail [-seed N] [-phones N] [-months N] [-tcp] [-quick]
+//	symfail [-seed N] [-phones N] [-months N] [-workers N] [-tcp] [-quick]
 package main
 
 import (
@@ -29,9 +29,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("symfail", flag.ContinueOnError)
 	var (
-		seed   = fs.Uint64("seed", 2007, "random seed for the whole study")
-		phones = fs.Int("phones", 25, "number of instrumented phones")
-		months = fs.Int("months", 14, "observation window in months")
+		seed    = fs.Uint64("seed", 2007, "random seed for the whole study")
+		phones  = fs.Int("phones", 25, "number of instrumented phones")
+		months  = fs.Int("months", 14, "observation window in months")
+		workers = fs.Int("workers", 0, "concurrent device shards (0 = GOMAXPROCS, 1 = serial; any value gives byte-identical results)")
 		useTCP = fs.Bool("tcp", false, "collect logs over a local TCP collection server")
 		quick  = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
 		extras = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
@@ -43,6 +44,7 @@ func run(args []string) error {
 
 	cfg := symfail.DefaultFieldStudyConfig(*seed)
 	cfg.Phones = *phones
+	cfg.Workers = *workers
 	cfg.Duration = time.Duration(*months) * phone.StudyMonth
 	if *quick {
 		cfg.Phones = 8

@@ -68,3 +68,35 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+// TestRunWorkersEquivalent runs the same quick study serially and sharded
+// and requires identical output — every table, figure and headline number —
+// modulo the one line that reports wall-clock time, which is exactly the
+// only thing -workers may change.
+func TestRunWorkersEquivalent(t *testing.T) {
+	strip := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "wall-clock") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	serial, err := captureStdout(t, func() error {
+		return run([]string{"-quick", "-seed", "5", "-workers", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := captureStdout(t, func() error {
+		return run([]string{"-quick", "-seed", "5", "-workers", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strip(serial) != strip(sharded) {
+		t.Error("-workers 4 changed the printed study; parallelism must be output-invariant")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -33,13 +32,18 @@ type fingerprint struct {
 	LogBytes      int     `json:"logBytes"`
 }
 
-func computeFingerprint(t *testing.T) fingerprint {
+// computeFingerprint runs the pinned reduced study with the given worker
+// count. The golden tests pin workers=1 (the fully serial path); the
+// parallel-equivalence test sweeps worker counts and requires the same
+// bytes from every one.
+func computeFingerprint(t *testing.T, workers int) fingerprint {
 	t.Helper()
 	fs, err := RunFieldStudy(FieldStudyConfig{
 		Seed:       424242,
 		Phones:     6,
 		Duration:   3 * phone.StudyMonth,
 		JoinWindow: phone.StudyMonth / 2,
+		Workers:    workers,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +70,7 @@ func computeFingerprint(t *testing.T) fingerprint {
 
 func TestGoldenDeterminismFingerprint(t *testing.T) {
 	path := filepath.Join("testdata", "golden_fingerprint.json")
-	got := computeFingerprint(t)
+	got := computeFingerprint(t, 1)
 	if *updateGolden {
 		blob, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
@@ -116,7 +120,7 @@ func TestGoldenFingerprintByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatalf("no golden fingerprint (run `go test -run Golden -update .`): %v", err)
 	}
-	got := computeFingerprint(t)
+	got := computeFingerprint(t, 1)
 	blob, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -170,9 +174,11 @@ func adversityStudyConfig() FieldStudyConfig {
 	}
 }
 
-func computeAdversityFingerprint(t *testing.T) advFingerprint {
+func computeAdversityFingerprint(t *testing.T, workers int) advFingerprint {
 	t.Helper()
-	fs, srv, err := RunFieldStudyWithCollector(adversityStudyConfig())
+	cfg := adversityStudyConfig()
+	cfg.Workers = workers
+	fs, srv, err := RunFieldStudyWithCollector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,18 +202,13 @@ func computeAdversityFingerprint(t *testing.T) advFingerprint {
 	for _, l := range fs.Loggers {
 		fp.LogBytes += len(l.LogBytes())
 	}
-	table := crc32.MakeTable(crc32.Castagnoli)
-	var sum uint32
 	for _, id := range fs.Dataset.Devices() {
-		data, _ := fs.Dataset.Get(id)
-		sum = crc32.Update(sum, table, []byte(id))
-		sum = crc32.Update(sum, table, data)
 		for _, r := range fs.Dataset.Records(id) {
 			fp.Salvaged += r.LogSalvaged
 			fp.Lost += r.LogLost
 		}
 	}
-	fp.DatasetCRC = sum
+	fp.DatasetCRC = fs.Dataset.CRC32C()
 	return fp
 }
 
@@ -217,7 +218,7 @@ func computeAdversityFingerprint(t *testing.T) advFingerprint {
 // be pure functions of the seed, down to the merged dataset's bytes.
 func TestGoldenAdversityFingerprint(t *testing.T) {
 	path := filepath.Join("testdata", "golden_fingerprint_adversity.json")
-	got := computeAdversityFingerprint(t)
+	got := computeAdversityFingerprint(t, 1)
 	if got.TornWrites == 0 {
 		t.Error("adversity run injected no torn writes — the fault config is not reaching the flash")
 	}

@@ -57,6 +57,14 @@ const MaxUploadBytes = 16 << 20
 var ErrTooLarge = errors.New("collect: upload too large")
 
 // Dataset is the collected study data: the raw Log File bytes per device.
+//
+// Dataset is safe for concurrent use: every access to files happens under
+// mu, and both Put and Get copy, so no caller ever holds a slice aliasing
+// the stored bytes. Sharded fleet execution has phones on different worker
+// goroutines uploading concurrently; per-device entries are independent
+// keys, so concurrent uploads from different devices commute and
+// same-device merges serialise under mu through the canonical,
+// order-independent MergeRecords.
 type Dataset struct {
 	mu    sync.Mutex
 	files map[string][]byte
@@ -119,7 +127,12 @@ func (ds *Dataset) AllRecords() map[string][]core.Record {
 // unterminated header cannot make the server buffer unboundedly.
 const MaxHeaderBytes = 256
 
-// Server is the collection server.
+// Server is the collection server. It serves every connection on its own
+// goroutine and is safe under concurrent uploads from a sharded fleet:
+// counters, streams and ackedKeys are only touched under mu, the dataset
+// guards itself, and per-device streams are independent keys — two phones
+// uploading simultaneously cannot observe each other, and one phone's
+// uploads are serialised by the uploader that issues them.
 type Server struct {
 	ds       *Dataset
 	listener net.Listener
@@ -421,8 +434,8 @@ func Upload(addr, deviceID string, data []byte) error {
 // PutMerged stores a device's log, preserving records the previous copy
 // had but the new one lost — after a master reset the phone re-uploads a
 // freshly started log, and the server must not forget the pre-reset study
-// data. Records are deduplicated by their exact serialized form and kept
-// in timestamp order.
+// data. Merging goes through MergeRecords, the canonical order-independent
+// merge, so the stored bytes do not depend on upload scheduling.
 func (ds *Dataset) PutMerged(deviceID string, data []byte) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
@@ -431,22 +444,5 @@ func (ds *Dataset) PutMerged(deviceID string, data []byte) {
 		ds.files[deviceID] = append([]byte(nil), data...)
 		return
 	}
-	seen := make(map[string]bool)
-	var recs []core.Record
-	for _, blob := range [][]byte{old, data} {
-		for _, r := range core.ParseRecords(blob) {
-			key := string(core.EncodeRecord(r))
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			recs = append(recs, r)
-		}
-	}
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
-	var merged []byte
-	for _, r := range recs {
-		merged = append(merged, core.EncodeRecord(r)...)
-	}
-	ds.files[deviceID] = merged
+	ds.files[deviceID] = EncodeRecords(MergeRecords(core.ParseRecords(old), core.ParseRecords(data)))
 }

@@ -1,0 +1,77 @@
+package collect
+
+import (
+	"hash/crc32"
+	"sort"
+
+	"symfail/internal/core"
+)
+
+// MergeRecords is the canonical per-device record merge: it combines any
+// number of record batches into one deduplicated, totally ordered sequence.
+// The operation is idempotent, commutative and associative — any
+// interleaving of the same batches, in any order, across any number of
+// calls, merges to the identical sequence — which is what makes the
+// collected dataset independent of upload scheduling: re-sends after lost
+// acknowledgements, rewound streams and concurrent per-shard uploads all
+// collapse to the same bytes.
+//
+// Records deduplicate by their exact serialized form and order by
+// (timestamp, serialized bytes). The byte tie-break gives equal-time
+// records a total order no arrival schedule can perturb; device identity,
+// the outermost key of the merge order, lives in the Dataset keying above
+// this level.
+func MergeRecords(batches ...[]core.Record) []core.Record {
+	seen := make(map[string]bool)
+	type keyed struct {
+		rec core.Record
+		key string
+	}
+	var all []keyed
+	for _, batch := range batches {
+		for _, r := range batch {
+			key := string(core.EncodeRecord(r))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			all = append(all, keyed{rec: r, key: key})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rec.Time != all[j].rec.Time {
+			return all[i].rec.Time < all[j].rec.Time
+		}
+		return all[i].key < all[j].key
+	})
+	out := make([]core.Record, len(all))
+	for i, k := range all {
+		out[i] = k.rec
+	}
+	return out
+}
+
+// EncodeRecords serialises a record sequence as the dataset stores it: one
+// JSON line per record.
+func EncodeRecords(recs []core.Record) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = append(out, core.EncodeRecord(r)...)
+	}
+	return out
+}
+
+// CRC32C is the dataset's canonical fingerprint: a CRC-32C over every
+// device ID and its log bytes, in sorted device order. Two datasets with
+// the same fingerprint hold byte-identical logs for the same devices — the
+// serial-vs-parallel equivalence tests compare whole runs through this one
+// number.
+func (ds *Dataset) CRC32C() uint32 {
+	var sum uint32
+	for _, id := range ds.Devices() {
+		data, _ := ds.Get(id)
+		sum = crc32.Update(sum, castagnoli, []byte(id))
+		sum = crc32.Update(sum, castagnoli, data)
+	}
+	return sum
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EngineConfig names the discrete-event engine type guarded by the
+// engineshare analyzer.
+type EngineConfig struct {
+	SimPkg     string // import path of the package defining the engine
+	EngineType string // named type, shared as a pointer
+}
+
+// DefaultEngineConfig guards *sim.Engine, the module's event scheduler.
+var DefaultEngineConfig = EngineConfig{SimPkg: "symfail/internal/sim", EngineType: "Engine"}
+
+// NewEngineShare builds the engineshare analyzer, the static half of the
+// sim.Engine ownership contract: an engine and everything scheduled on it
+// belong to exactly one goroutine at a time, and nothing in it is locked.
+// Handing an engine across a `go` statement — as a call argument, a method
+// receiver, a composite-literal field, or a closure capture — puts two
+// goroutines in a position to advance or schedule on it concurrently,
+// which is a data race and, worse, a determinism leak the race detector
+// cannot always see. There is no Split()-style exemption: the only
+// sanctioned hand-off is transferring a whole shard to a worker that owns
+// it outright, e.g. through sim.RunShards, where the engine never appears
+// in the go statement itself.
+func NewEngineShare(cfg EngineConfig) *Analyzer {
+	if cfg.SimPkg == "" {
+		cfg = DefaultEngineConfig
+	}
+	a := &Analyzer{
+		Name: "engineshare",
+		Doc:  "flag a sim.Engine handed across a goroutine boundary (engines are single-owner; shard instead)",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkEngineGoStmt(pass, cfg, gs)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkEngineGoStmt(pass *Pass, cfg EngineConfig, gs *ast.GoStmt) {
+	report := func(pos ast.Node, name string) {
+		pass.Reportf(pos.Pos(), "%s crosses a goroutine boundary; a sim.Engine is owned by exactly one goroutine — hand a whole shard to the worker (see sim.RunShards) instead", name)
+	}
+	// `go eng.Run(...)`: the receiver itself escapes into the goroutine.
+	if sel, ok := gs.Call.Fun.(*ast.SelectorExpr); ok {
+		if isEngineType(pass.Pkg.Info.TypeOf(sel.X), cfg) {
+			report(sel.X, exprName(sel.X))
+		}
+	}
+	// Engine-typed expressions anywhere in the arguments (including nested
+	// composite-literal fields) escape too.
+	for _, arg := range gs.Call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if _, isIdent := kv.Key.(*ast.Ident); isIdent {
+					ast.Inspect(kv.Value, func(m ast.Node) bool { return inspectEngineExpr(pass, cfg, m, report) })
+					return false
+				}
+			}
+			return inspectEngineExpr(pass, cfg, n, report)
+		})
+	}
+	// Closure goroutines additionally capture outer engine variables.
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || !isEngineType(obj.Type(), cfg) {
+			return true // fields are judged where the struct crosses the boundary
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the goroutine: that goroutine owns it
+		}
+		report(id, id.Name)
+		return true
+	})
+}
+
+// inspectEngineExpr reports an engine-typed expression escaping through a
+// go statement's arguments; it returns false to stop descending once judged.
+func inspectEngineExpr(pass *Pass, cfg EngineConfig, n ast.Node, report func(ast.Node, string)) bool {
+	e, ok := n.(ast.Expr)
+	if !ok || !isEngineType(pass.Pkg.Info.TypeOf(e), cfg) {
+		return true
+	}
+	report(e, exprName(e))
+	return false
+}
+
+// isEngineType reports whether t is *Engine (or Engine) for the configured
+// type.
+func isEngineType(t types.Type, cfg EngineConfig) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == cfg.EngineType && obj.Pkg() != nil && obj.Pkg().Path() == cfg.SimPkg
+}

@@ -64,13 +64,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // DefaultAnalyzers returns the full analyzer suite with module defaults:
-// determinism, maporder, panictaxonomy, and rngshare.
+// determinism, maporder, panictaxonomy, rngshare, and engineshare.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DeterminismConfig{}),
 		NewMapOrder(),
 		NewPanicTaxonomy(TaxonomyConfig{}),
 		NewRNGShare(RNGConfig{}),
+		NewEngineShare(EngineConfig{}),
 	}
 }
 

@@ -150,6 +150,10 @@ func TestRNGShareGolden(t *testing.T) {
 	checkGolden(t, "rngsharefix", lint.NewRNGShare(lint.RNGConfig{}))
 }
 
+func TestEngineShareGolden(t *testing.T) {
+	checkGolden(t, "enginesharefix", lint.NewEngineShare(lint.EngineConfig{}))
+}
+
 func TestDirectiveGolden(t *testing.T) {
 	checkGolden(t, "directivefix", lint.NewDeterminism(lint.DeterminismConfig{}))
 }

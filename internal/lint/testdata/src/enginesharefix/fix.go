@@ -1,0 +1,66 @@
+// Package enginesharefix is a symlint golden-test fixture for the
+// engineshare analyzer: a *sim.Engine crossing a goroutine boundary.
+package enginesharefix
+
+import (
+	"time"
+
+	"symfail/internal/sim"
+)
+
+type shard struct {
+	eng  *sim.Engine
+	done chan error
+}
+
+func drive(e *sim.Engine, done chan<- error) {
+	done <- e.Run(sim.Epoch.Add(time.Hour))
+}
+
+// Positive: the engine is the receiver of the spawned call.
+func receiverEscapes(done chan error) {
+	eng := sim.NewEngine()
+	go eng.RunAll() // want: receiver crosses the boundary
+	done <- nil
+}
+
+// Positive: the engine is captured by the goroutine closure.
+func capturedEngine(done chan error) {
+	eng := sim.NewEngine()
+	go func() {
+		done <- eng.Run(sim.Epoch.Add(time.Hour)) // want: captured engine
+	}()
+	_ = eng.Now()
+}
+
+// Positive: the engine is passed as a goroutine argument.
+func passedEngine(done chan error) {
+	eng := sim.NewEngine()
+	go drive(eng, done) // want: passed engine
+	_ = eng.Now()
+}
+
+// Positive: the engine rides into the goroutine inside a struct literal.
+func structSmuggled(done chan error) {
+	eng := sim.NewEngine()
+	go func(s shard) {
+		s.done <- s.eng.RunAll()
+	}(shard{eng: eng, done: done}) // want: smuggled engine
+	_ = eng.Now()
+}
+
+// Negative: an engine created inside the goroutine is owned by it.
+func privateEngine(done chan error) {
+	go func() {
+		eng := sim.NewEngine()
+		done <- eng.RunAll()
+	}()
+}
+
+// Negative: the sanctioned hand-off — the worker owns whole shards and the
+// engine never appears in the go statement (this is sim.RunShards' shape).
+func shardHandoff(engines []*sim.Engine) error {
+	return sim.RunShards(len(engines), 2, func(i int) error {
+		return engines[i].RunAll()
+	})
+}

@@ -32,6 +32,12 @@ type FleetConfig struct {
 	// persona/OS draws so enabling adversity does not change which persona
 	// or OS version a device gets.
 	Flash FlashFaults
+	// Workers bounds how many device shards Run simulates concurrently:
+	// 0 means GOMAXPROCS, 1 reproduces the fully serial run. The worker
+	// count may only change wall-clock time — every count produces
+	// byte-identical devices, logs and datasets, because each device owns
+	// a private engine and RNG and devices never interact.
+	Workers int
 }
 
 // DefaultFleetConfig mirrors the paper's deployment.
@@ -44,9 +50,14 @@ func DefaultFleetConfig(seed uint64) FleetConfig {
 	}
 }
 
-// Fleet is a set of enrolled devices sharing one discrete-event engine.
+// Fleet is a set of enrolled devices. Each device is one shard of the
+// study: it owns a private discrete-event engine (Engines[i] drives
+// Devices[i] and nothing else), which is what lets Run simulate shards on
+// concurrent workers without perturbing a single event — the paper's 25
+// phones never interact except through the collection server, and neither
+// do ours.
 type Fleet struct {
-	Engine  *sim.Engine
+	Engines []*sim.Engine
 	Devices []*Device
 	cfg     FleetConfig
 }
@@ -65,13 +76,17 @@ var osVersionMix = []struct {
 
 // NewFleet builds and enrols the devices (phones join at deterministic,
 // seed-derived offsets inside the join window). Call Run to simulate.
+//
+// Construction is always serial, whatever cfg.Workers says: per-device
+// seeds, personas, OS versions and join offsets are all drawn from one
+// fleet RNG in device order, so the draw sequence — and therefore every
+// device's identity — is independent of how the run is later scheduled.
 func NewFleet(cfg FleetConfig) *Fleet {
 	if cfg.Phones <= 0 {
 		panic("phone: fleet needs at least one phone")
 	}
-	eng := sim.NewEngine()
 	r := sim.NewRand(cfg.Seed)
-	fl := &Fleet{Engine: eng, cfg: cfg}
+	fl := &Fleet{cfg: cfg}
 	for i := 0; i < cfg.Phones; i++ {
 		devSeed := r.Uint64()
 		devCfg := DefaultConfig(devSeed)
@@ -94,26 +109,33 @@ func NewFleet(cfg FleetConfig) *Fleet {
 		if cfg.Flash.Enabled() {
 			devCfg.Flash = cfg.Flash
 		}
+		eng := sim.NewEngine()
 		d := NewDevice(fmt.Sprintf("phone-%02d", i+1), eng, devCfg)
 		var join time.Duration
 		if cfg.JoinWindow > 0 {
 			join = time.Duration(r.Float64() * float64(cfg.JoinWindow))
 		}
 		d.Enroll(sim.Epoch.Add(join))
+		fl.Engines = append(fl.Engines, eng)
 		fl.Devices = append(fl.Devices, d)
 	}
 	return fl
 }
 
 // Run simulates the whole observation window and finalises every device.
+// Shards (one device, its engine and its RNG streams each) run on up to
+// cfg.Workers concurrent workers; each worker owns its shard outright for
+// the duration, per the sim.Engine ownership contract, so any worker count
+// yields byte-identical results.
 func (f *Fleet) Run() error {
-	if err := f.Engine.Run(sim.Epoch.Add(f.cfg.Duration)); err != nil {
-		return err
-	}
-	for _, d := range f.Devices {
-		d.Finalize()
-	}
-	return nil
+	until := sim.Epoch.Add(f.cfg.Duration)
+	return sim.RunShards(len(f.Devices), f.cfg.Workers, func(i int) error {
+		if err := f.Engines[i].Run(until); err != nil {
+			return err
+		}
+		f.Devices[i].Finalize()
+		return nil
+	})
 }
 
 // ObservedHours sums powered-on hours across the fleet.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"symfail/internal/sim"
 	"symfail/internal/symbos"
 )
 
@@ -372,4 +373,75 @@ func TestPersonasIncreaseDispersion(t *testing.T) {
 	if mixed <= uniform*0.9 {
 		t.Errorf("persona mix did not increase dispersion: mixed CV %.3f vs uniform %.3f", mixed, uniform)
 	}
+}
+
+// TestFleetShardIsolation enforces the shard ownership contract at
+// runtime: no two devices may share an engine or an RNG stream, every
+// device must be driven by its own fleet engine, and the faulty flash's
+// RNG must be a Split() child rather than an alias of the device stream.
+// symlint's engineshare/rngshare analyzers prove the same statically for
+// goroutine hand-offs; this test covers construction.
+func TestFleetShardIsolation(t *testing.T) {
+	fl := NewFleet(FleetConfig{
+		Seed:       31,
+		Phones:     12,
+		Duration:   StudyMonth,
+		JoinWindow: StudyMonth / 2,
+		Flash:      FlashFaults{TornWriteProb: 0.5},
+	})
+	if len(fl.Engines) != len(fl.Devices) {
+		t.Fatalf("%d engines for %d devices, want one engine per device shard", len(fl.Engines), len(fl.Devices))
+	}
+	engines := make(map[*sim.Engine]int)
+	rngs := make(map[*sim.Rand]int)
+	for i, d := range fl.Devices {
+		if d.Engine() != fl.Engines[i] {
+			t.Errorf("device %d is not driven by its shard engine", i)
+		}
+		if prev, dup := engines[d.Engine()]; dup {
+			t.Errorf("devices %d and %d share an engine", prev, i)
+		}
+		engines[d.Engine()] = i
+		if prev, dup := rngs[d.rng]; dup {
+			t.Errorf("devices %d and %d share an RNG stream", prev, i)
+		}
+		rngs[d.rng] = i
+		if d.fs.rng == d.rng {
+			t.Errorf("device %d: flash fault RNG aliases the device stream instead of a Split() child", i)
+		}
+	}
+}
+
+// TestFleetWorkersByteIdentical is the package-level serial-equivalence
+// check (the full-study version lives in the root package): every worker
+// count must produce identical per-device ground truth.
+func TestFleetWorkersByteIdentical(t *testing.T) {
+	base := runSmallFleetWorkers(t, 77, 1)
+	for _, workers := range []int{0, 2, 4, 8} {
+		fl := runSmallFleetWorkers(t, 77, workers)
+		if got, want := fl.ObservedHours(), base.ObservedHours(); got != want {
+			t.Errorf("workers=%d: observed hours %v, want %v", workers, got, want)
+		}
+		for i := range base.Devices {
+			ga, gb := fl.Devices[i].Oracle(), base.Devices[i].Oracle()
+			if ga.PanicCount() != gb.PanicCount() || ga.Failures() != gb.Failures() || ga.ObservedHours != gb.ObservedHours {
+				t.Errorf("workers=%d: device %d ground truth diverged from serial", workers, i)
+			}
+		}
+	}
+}
+
+func runSmallFleetWorkers(t *testing.T, seed uint64, workers int) *Fleet {
+	t.Helper()
+	fl := NewFleet(FleetConfig{
+		Seed:       seed,
+		Phones:     8,
+		Duration:   2 * StudyMonth,
+		JoinWindow: StudyMonth / 2,
+		Workers:    workers,
+	})
+	if err := fl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fl
 }

@@ -35,9 +35,18 @@ func (e *Event) Label() string { return e.label }
 // Pending reports whether the event is still waiting to fire.
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
 
-// Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; the simulation is deterministic precisely because exactly
-// one goroutine advances it.
+// Engine is a single-threaded discrete-event scheduler.
+//
+// Ownership contract: an Engine and everything scheduled on it belong to
+// exactly one goroutine at a time. The simulation is deterministic
+// precisely because a single goroutine advances each engine; nothing in
+// the Engine is locked, and nothing may be. Parallelism is achieved by
+// sharding, never by sharing: give each independent shard of the world its
+// own Engine (and its own RNG streams — see Rand.Split) and run whole
+// shards on separate workers, e.g. via RunShards. Two shards must not
+// share an engine, schedule onto each other's engines, or touch each
+// other's state; cross-shard results are combined only after the shards
+// finish, through an order-independent merge (see internal/collect).
 type Engine struct {
 	now     Time
 	queue   eventQueue

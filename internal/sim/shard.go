@@ -1,0 +1,64 @@
+package sim
+
+import "runtime"
+
+// RunShards runs fn(shard) for every shard in [0, n) on a bounded pool of
+// worker goroutines and waits for all of them. It is the execution primitive
+// behind sharded fleet simulation: every shard must own its world — engine,
+// devices, RNG streams — outright, so that the only thing parallelism can
+// change is wall-clock time.
+//
+// workers bounds the pool: 0 (or negative) means GOMAXPROCS, 1 degenerates
+// to a plain serial loop in shard order (no goroutines at all, the exact
+// pre-sharding execution), and anything larger is clamped to n. Shard
+// functions must not assume anything about the order or concurrency of
+// other shards.
+//
+// Error handling is deterministic regardless of scheduling: every shard
+// always runs (one failing shard does not cancel its siblings — shards are
+// independent experiments and a partial fleet is still a dataset), and the
+// returned error is the lowest-indexed shard's, not the first to lose a
+// race.
+func RunShards(n, workers int, fn func(shard int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	shards := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range shards {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		shards <- i
+	}
+	close(shards)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

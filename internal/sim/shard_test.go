@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunShardsCoversEveryShard(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		const n = 20
+		var ran [n]int32
+		err := RunShards(n, workers, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range ran {
+			if c != 1 {
+				t.Errorf("workers=%d: shard %d ran %d times, want 1", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunShardsSerialOrder(t *testing.T) {
+	var order []int
+	err := RunShards(5, 1, func(i int) error {
+		order = append(order, i) // single worker: no synchronisation needed
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial run visited shards %v, want ascending order", order)
+		}
+	}
+}
+
+// TestRunShardsLowestIndexError pins the deterministic error contract: no
+// matter which shard fails first in wall-clock time, the reported error is
+// the lowest-indexed one, and every shard still runs.
+func TestRunShardsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	var ran int32
+	err := RunShards(8, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		switch i {
+		case 2:
+			// Give the higher-indexed failure every chance to finish first.
+			time.Sleep(5 * time.Millisecond)
+			return errLow
+		case 6:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Errorf("got error %v, want the lowest-indexed shard's (%v)", err, errLow)
+	}
+	if ran != 8 {
+		t.Errorf("%d shards ran, want all 8 (a failing shard must not cancel its siblings)", ran)
+	}
+}
+
+func TestRunShardsSerialStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := RunShards(5, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran != 3 {
+		t.Errorf("serial run executed %d shards after the failure, want stop at shard 2", ran)
+	}
+}
+
+func TestRunShardsZeroShards(t *testing.T) {
+	if err := RunShards(0, 4, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardsBoundedConcurrency checks the pool really is bounded: the
+// number of simultaneously live shard functions never exceeds the worker
+// count.
+func TestRunShardsBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var live, peak int32
+	var mu sync.Mutex
+	err := RunShards(24, workers, func(int) error {
+		now := atomic.AddInt32(&live, 1)
+		mu.Lock()
+		if now > peak {
+			peak = now
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&live, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent shards, want <= %d", peak, workers)
+	}
+}

@@ -1,0 +1,124 @@
+package symfail
+
+// BenchmarkFleetScaling is the perf-regression harness for sharded fleet
+// execution: it sweeps fleet size × worker count, reports simulated
+// phone-hours per wall-clock second for every cell, and writes the whole
+// grid (with per-fleet-size speedups vs the serial run) to
+// BENCH_parallel.json so future PRs have a perf trajectory to compare
+// against. Run it alone for stable numbers:
+//
+//	go test -bench BenchmarkFleetScaling -benchtime 1x .
+//
+// The observation window shrinks as the fleet grows so every cell does
+// comparable total work; phone-hours/sec is the scale-free metric.
+// Speedup is wall-clock-bound by the host: on a single-core machine every
+// worker count measures ≈ 1.0×, which is itself the determinism story —
+// the sharded path costs nothing when there is nothing to win.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"symfail/internal/phone"
+)
+
+// scalingCell is one measured (phones, workers) point of the grid.
+type scalingCell struct {
+	Phones           int     `json:"phones"`
+	Workers          int     `json:"workers"`
+	Months           float64 `json:"months"`
+	PhoneHours       float64 `json:"phoneHours"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	PhoneHoursPerSec float64 `json:"phoneHoursPerSec"`
+	// Speedup is PhoneHoursPerSec over the workers=1 cell of the same
+	// fleet size (1.0 for the serial cell itself).
+	Speedup float64 `json:"speedup"`
+}
+
+type scalingReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"goVersion"`
+	Cells      []scalingCell `json:"cells"`
+}
+
+// scalingWorkerCounts returns the worker sweep: serial, 4 (the ISSUE's
+// reference point), and the host's full width when that differs.
+func scalingWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func BenchmarkFleetScaling(b *testing.B) {
+	grid := []struct {
+		phones   int
+		duration time.Duration
+	}{
+		{25, 2 * phone.StudyMonth},
+		{100, phone.StudyMonth},
+		{1000, phone.StudyMonth / 4},
+	}
+	report := scalingReport{GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	for _, g := range grid {
+		serialRate := 0.0
+		for _, workers := range scalingWorkerCounts() {
+			name := fmt.Sprintf("phones=%d/workers=%d", g.phones, workers)
+			var cell scalingCell
+			b.Run(name, func(b *testing.B) {
+				var hours float64
+				for i := 0; i < b.N; i++ {
+					fs, err := RunFieldStudy(FieldStudyConfig{
+						Seed:       2007,
+						Phones:     g.phones,
+						Workers:    workers,
+						Duration:   g.duration,
+						JoinWindow: g.duration / 4,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					hours += fs.Fleet.ObservedHours()
+				}
+				wall := b.Elapsed().Seconds()
+				cell = scalingCell{
+					Phones:      g.phones,
+					Workers:     workers,
+					Months:      float64(g.duration) / float64(phone.StudyMonth),
+					PhoneHours:  hours,
+					WallSeconds: wall,
+				}
+				if wall > 0 {
+					cell.PhoneHoursPerSec = hours / wall
+				}
+				b.ReportMetric(cell.PhoneHoursPerSec, "phone-hours/s")
+			})
+			if cell.Phones == 0 {
+				continue // sub-bench filtered out by -bench
+			}
+			if workers == 1 {
+				serialRate = cell.PhoneHoursPerSec
+			}
+			if serialRate > 0 {
+				cell.Speedup = cell.PhoneHoursPerSec / serialRate
+			}
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	if len(report.Cells) == 0 {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("scaling grid written to BENCH_parallel.json (%d cells)", len(report.Cells))
+}

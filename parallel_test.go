@@ -1,0 +1,73 @@
+package symfail
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// equivalenceWorkerCounts is the sweep the serial-equivalence harness runs:
+// 1 is the fully serial pre-sharding path, the rest exercise the bounded
+// worker pool at, below and above typical core counts.
+var equivalenceWorkerCounts = []int{1, 2, 4, 8}
+
+// TestParallelEquivalence is the sharding tentpole's contract: the worker
+// count may change nothing but wall-clock time. It runs the pinned reduced
+// study at every worker count and requires the marshalled fingerprint —
+// panic counts, observed hours, first-panic identity, log bytes — to be
+// byte-identical across all of them AND to the committed serial golden, so
+// the parallel path is anchored to the exact bytes the serial code
+// produced before sharding existed.
+func TestParallelEquivalence(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden being rewritten by TestGoldenDeterminismFingerprint")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_fingerprint.json"))
+	if err != nil {
+		t.Fatalf("no golden fingerprint (run `go test -run Golden -update .`): %v", err)
+	}
+	for _, workers := range equivalenceWorkerCounts {
+		fp := computeFingerprint(t, workers)
+		blob, err := json.MarshalIndent(fp, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if !bytes.Equal(blob, golden) {
+			t.Errorf("workers=%d: fingerprint differs from the serial golden.\n got: %s\nwant: %s",
+				workers, blob, golden)
+		}
+	}
+}
+
+// TestParallelEquivalenceAdversity holds the same contract under the full
+// adversity menu and the TCP collection pipeline: concurrent shards
+// injecting faults, retrying uploads, and merging into one server must
+// still be a pure function of the seed, down to the merged dataset's CRC,
+// at every worker count.
+func TestParallelEquivalenceAdversity(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden being rewritten by TestGoldenAdversityFingerprint")
+	}
+	if testing.Short() {
+		t.Skip("adversity equivalence sweep is slow; the plain sweep covers -short")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_fingerprint_adversity.json"))
+	if err != nil {
+		t.Fatalf("no adversity golden (run `go test -run Golden -update .`): %v", err)
+	}
+	for _, workers := range equivalenceWorkerCounts {
+		fp := computeAdversityFingerprint(t, workers)
+		blob, err := json.MarshalIndent(fp, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, '\n')
+		if !bytes.Equal(blob, golden) {
+			t.Errorf("workers=%d: adversity fingerprint differs from the serial golden.\n got: %s\nwant: %s",
+				workers, blob, golden)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"symfail/internal/core"
 	"symfail/internal/forum"
 	"symfail/internal/phone"
+	"symfail/internal/sim"
 )
 
 // FieldStudyConfig parameterises a full instrumented deployment.
@@ -35,6 +36,13 @@ type FieldStudyConfig struct {
 	Seed uint64
 	// Phones is the fleet size (default 25, the paper's deployment).
 	Phones int
+	// Workers bounds how many device shards simulate concurrently: 0 means
+	// GOMAXPROCS, 1 forces the fully serial run. Any worker count produces
+	// byte-identical studies — fleet construction is always serial, every
+	// device owns a private engine and RNG streams, and collection merges
+	// are canonical and order-independent — so Workers trades nothing but
+	// wall-clock time. See DESIGN.md §9.
+	Workers int
 	// Duration is the observation window (default 14 months).
 	Duration time.Duration
 	// JoinWindow staggers enrolment (default 9 months).
@@ -132,6 +140,7 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 		JoinWindow: cfg.JoinWindow,
 		Device:     cfg.Device,
 		Flash:      cfg.Adversity.Flash,
+		Workers:    cfg.Workers,
 	})
 	loggers := make([]*core.Logger, 0, len(fleet.Devices))
 	var reporters []*core.UserReporter
@@ -165,16 +174,24 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 		return nil, fmt.Errorf("symfail: run fleet: %w", err)
 	}
 
+	// Final collection is sharded like the run itself: each device's log
+	// travels independently, and both Dataset.Put and the server's chunk
+	// merge are canonical per device, so collection order cannot change the
+	// collected bytes.
 	ds := collect.NewDataset()
-	for i, l := range loggers {
+	err := sim.RunShards(len(loggers), cfg.Workers, func(i int) error {
 		id := fleet.Devices[i].ID()
 		if cfg.CollectorAddr != "" {
-			if err := collect.Upload(cfg.CollectorAddr, id, l.LogBytes()); err != nil {
-				return nil, fmt.Errorf("symfail: upload %s: %w", id, err)
+			if err := collect.Upload(cfg.CollectorAddr, id, loggers[i].LogBytes()); err != nil {
+				return fmt.Errorf("symfail: upload %s: %w", id, err)
 			}
 		} else {
-			ds.Put(id, l.LogBytes())
+			ds.Put(id, loggers[i].LogBytes())
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	study := analysis.New(ds.AllRecords(), cfg.Analysis)
