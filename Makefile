@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check chaos parallel test test-short bench bench-parallel repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint check chaos chaos-kill fuzz parallel test test-short bench bench-parallel repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -25,7 +25,19 @@ check: vet lint
 # injection, sharded across workers, under the race detector (see
 # DESIGN.md §8, §9).
 chaos:
-	$(GO) test -race -run 'Chaos' -v .
+	$(GO) test -race -run 'TestChaos' -v .
+
+# The kill-anything harness: chaos plus injected collection-server crashes
+# — the supervisor kills the server at drawn crashpoints mid-study and
+# recovers it from its write-ahead log; no acknowledged record may be lost
+# or duplicated (DESIGN.md §10).
+chaos-kill:
+	$(GO) test -race -run 'TestKillAnything' -v .
+
+# Fuzz the collection server's wire protocol end to end for a short burst
+# (panics and wedged servers fail the run; CI uses the seed corpus only).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzServerHeader -fuzztime 30s ./internal/collect/
 
 # Serial-vs-parallel equivalence: workers 1/2/4/8 must reproduce the
 # golden fingerprints byte-for-byte, under the race detector (DESIGN.md §9).

@@ -29,14 +29,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("symfail", flag.ContinueOnError)
 	var (
-		seed    = fs.Uint64("seed", 2007, "random seed for the whole study")
-		phones  = fs.Int("phones", 25, "number of instrumented phones")
-		months  = fs.Int("months", 14, "observation window in months")
-		workers = fs.Int("workers", 0, "concurrent device shards (0 = GOMAXPROCS, 1 = serial; any value gives byte-identical results)")
-		useTCP = fs.Bool("tcp", false, "collect logs over a local TCP collection server")
-		quick  = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
-		extras = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
-		export = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
+		seed       = fs.Uint64("seed", 2007, "random seed for the whole study")
+		phones     = fs.Int("phones", 25, "number of instrumented phones")
+		months     = fs.Int("months", 14, "observation window in months")
+		workers    = fs.Int("workers", 0, "concurrent device shards (0 = GOMAXPROCS, 1 = serial; any value gives byte-identical results)")
+		useTCP     = fs.Bool("tcp", false, "collect logs over a local TCP collection server")
+		serverKill = fs.Int("server-kill", 0, "with -tcp: crash the collection server about every N uploads and recover it from its write-ahead log (0 = no crashes)")
+		quick      = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
+		extras     = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
+		export     = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +53,22 @@ func run(args []string) error {
 		cfg.JoinWindow = phone.StudyMonth
 	}
 	cfg.WithUserReporter = *extras
+	if *serverKill > 0 {
+		if !*useTCP {
+			return fmt.Errorf("-server-kill needs -tcp (crashes are injected into the TCP collection server)")
+		}
+		// A uniform window around N keeps kills irregular but centred on
+		// the requested rate.
+		cfg.Adversity.ServerCrash = collect.CrashFaults{
+			KillEveryMin: (*serverKill + 1) / 2,
+			KillEveryMax: *serverKill + (*serverKill+1)/2,
+		}
+		// Weekly uploads also enable periodic chunking, so crashes land on
+		// a live stream, not only on the final collection.
+		if cfg.UploadEvery <= 0 {
+			cfg.UploadEvery = 7 * 24 * time.Hour
+		}
+	}
 
 	fmt.Println("=== Section 4: high-level failure characterisation (web forums) ===")
 	fmt.Println()
@@ -63,12 +80,12 @@ func run(args []string) error {
 		cfg.Phones, int(cfg.Duration/phone.StudyMonth), *seed)
 	start := time.Now()
 	var study *symfail.FieldStudy
+	var sup *collect.Supervisor
 	var err error
 	if *useTCP {
-		var srv interface{ Close() error }
-		study, srv, err = symfail.RunFieldStudyWithCollector(cfg)
+		study, sup, err = symfail.RunFieldStudyWithCollector(cfg)
 		if err == nil {
-			defer srv.Close()
+			defer sup.Close()
 		}
 	} else {
 		study, err = symfail.RunFieldStudy(cfg)
@@ -78,6 +95,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("simulated %.0f phone-hours in %v wall-clock\n\n",
 		study.Fleet.ObservedHours(), time.Since(start).Round(time.Millisecond))
+	if sup != nil && *serverKill > 0 {
+		fmt.Printf("collection server: %d injected crashes, %d restarts, %d uploads served, %d WAL compactions — zero acknowledged records lost\n\n",
+			sup.Crashes(), sup.Restarts(), sup.Uploads(), sup.Compactions())
+	}
 
 	s := study.Study
 	fmt.Println(report.Figure2(s))

@@ -16,14 +16,22 @@
 //	client: OFFSET <device-id>\n
 //	server: OK <stream-length> <crc32c-hex>\n
 //
+//	client: FIN <device-id>\n
+//	server: OK\n
+//
 // UPLOAD is the legacy full-file transfer (still used for the final
 // collection at study end). CHUNK appends to a per-device server-side
 // stream at a client-stated offset, which is what makes uploads resumable:
 // after a failure only the tail past the last acknowledged offset is
 // re-sent, and OFFSET lets a client that lost an acknowledgement ask where
-// the server actually stands. The CRC-32C field guards every transfer —
-// phones upload over flaky bearers — and a chunk is acknowledged only
-// after its checksum verifies, so an acknowledgement is a durable promise.
+// the server actually stands. FIN retires a device's chunk stream once the
+// client is done with it. The CRC-32C field guards every transfer — phones
+// upload over flaky bearers — and a chunk is acknowledged only after its
+// checksum verifies, so an acknowledgement is a durable promise: with a
+// durable server (ServerConfig.Store) the verb is write-ahead-logged and
+// synced before the ACK is written to the wire, and a Supervisor-restarted
+// server replays the log, so even a crash on the very next instruction
+// cannot take an acknowledged record with it (see wal.go, supervisor.go).
 //
 // Merging is idempotent per device: records are deduplicated by their
 // serialized form, so re-sending data the server already holds (the
@@ -127,19 +135,57 @@ func (ds *Dataset) AllRecords() map[string][]core.Record {
 // unterminated header cannot make the server buffer unboundedly.
 const MaxHeaderBytes = 256
 
+// ServerConfig tunes a collection server beyond its defaults. The zero
+// value is the legacy in-memory server: no durable store, streams capped at
+// MaxUploadBytes.
+type ServerConfig struct {
+	// MaxStreamBytes caps each device's server-side chunk stream; a CHUNK
+	// that would grow the stream past the cap is rejected with
+	// "ERR stream too large" (the stream itself is kept, and FIN drops it),
+	// so a looping client cannot grow server memory without bound. Zero
+	// means MaxUploadBytes.
+	MaxStreamBytes int
+	// Store, when set, makes the server durable: every accepted verb is
+	// appended to a write-ahead log on the store and synced before the ACK
+	// is written to the wire, and construction replays the store (see
+	// wal.go). Nil keeps the legacy purely in-memory server.
+	Store *CrashStore
+	// CompactEvery triggers snapshot compaction once the WAL exceeds this
+	// many bytes (zero means 1 MiB). Only meaningful with a Store.
+	CompactEvery int
+
+	// monitor is the supervisor hook: it schedules injected crashes and is
+	// told when this incarnation dies. Only the Supervisor sets it.
+	monitor *Supervisor
+}
+
+// DefaultCompactEvery is the WAL size that triggers compaction when
+// ServerConfig.CompactEvery is zero.
+const DefaultCompactEvery = 1 << 20
+
 // Server is the collection server. It serves every connection on its own
 // goroutine and is safe under concurrent uploads from a sharded fleet:
-// counters, streams and ackedKeys are only touched under mu, the dataset
-// guards itself, and per-device streams are independent keys — two phones
-// uploading simultaneously cannot observe each other, and one phone's
-// uploads are serialised by the uploader that issues them.
+// counters, streams and ackedKeys are only touched under mu, per-device
+// streams are independent keys — two phones uploading simultaneously
+// cannot observe each other — and one phone's uploads are serialised by
+// the uploader that issues them. The dataset guards itself, but every
+// server-side mutation of it happens under mu too (lock order: Server.mu
+// then Dataset.mu), so a compaction snapshot can never miss a verb that
+// was already WAL-synced.
 type Server struct {
 	ds       *Dataset
 	listener net.Listener
 	wg       sync.WaitGroup
-	mu       sync.Mutex
-	closed   bool
-	uploads  int
+	cfg      ServerConfig
+
+	mu      sync.Mutex
+	closed  bool
+	uploads int
+	// dead marks an incarnation killed by an injected crash: every handler
+	// bails out at the next mu acquisition and the supervisor's replacement
+	// owns the state from then on.
+	dead        bool
+	compactions int
 
 	// streams holds the per-device chunk streams (the raw bytes the
 	// device has pushed so far) and ackedKeys the serialized form of
@@ -152,16 +198,37 @@ type Server struct {
 // NewServer starts a collection server on addr ("127.0.0.1:0" picks a free
 // port) feeding the given dataset.
 func NewServer(addr string, ds *Dataset) (*Server, error) {
+	return NewServerWith(addr, ds, ServerConfig{})
+}
+
+// NewServerWith starts a collection server with explicit configuration.
+// When cfg.Store is set the server first recovers it — snapshot plus WAL
+// replay, see recoverServerState — and resets the dataset to the recovered
+// state, so restarting on the same store resumes exactly where the synced
+// prefix left off.
+func NewServerWith(addr string, ds *Dataset, cfg ServerConfig) (*Server, error) {
+	if cfg.MaxStreamBytes <= 0 {
+		cfg.MaxStreamBytes = MaxUploadBytes
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = DefaultCompactEvery
+	}
+	s := &Server{
+		ds:        ds,
+		cfg:       cfg,
+		streams:   make(map[string][]byte),
+		ackedKeys: make(map[string]map[string]bool),
+	}
+	if cfg.Store != nil {
+		files, streams := recoverServerState(cfg.Store)
+		ds.resetTo(files)
+		s.streams = streams
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("collect: listen: %w", err)
 	}
-	s := &Server{
-		ds:        ds,
-		listener:  l,
-		streams:   make(map[string][]byte),
-		ackedKeys: make(map[string]map[string]bool),
-	}
+	s.listener = l
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -175,6 +242,13 @@ func (s *Server) Uploads() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.uploads
+}
+
+// Compactions returns how many snapshot compactions this incarnation ran.
+func (s *Server) Compactions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
 }
 
 // Close stops accepting connections and waits for in-flight uploads.
@@ -226,6 +300,14 @@ func (s *Server) handle(conn net.Conn) {
 		fmt.Fprint(conn, "ERR bad header\n")
 		return
 	}
+	if s.cfg.monitor != nil {
+		// The supervisor counts recognised requests to schedule its next
+		// injected kill. Called with no locks held.
+		switch fields[0] {
+		case "UPLOAD", "CHUNK", "OFFSET", "FIN":
+			s.cfg.monitor.beginRequest(s)
+		}
+	}
 	switch fields[0] {
 	case "UPLOAD":
 		s.handleUpload(conn, r, fields)
@@ -233,6 +315,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleChunk(conn, r, fields)
 	case "OFFSET":
 		s.handleOffset(conn, fields)
+	case "FIN":
+		s.handleFin(conn, fields)
 	default:
 		fmt.Fprint(conn, "ERR bad header\n")
 	}
@@ -267,7 +351,8 @@ func readBody(r *bufio.Reader, size int, sum uint32) ([]byte, error) {
 	return data, nil
 }
 
-// handleUpload serves the legacy full-file transfer.
+// handleUpload serves the legacy full-file transfer. Like handleChunk, the
+// verb is WAL-logged and synced before the ACK goes on the wire.
 func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
 	id, size, sum, err := parseHeader(fields)
 	if err != nil {
@@ -279,11 +364,24 @@ func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		return
 	}
-	s.ds.PutMerged(id, data)
 	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	if !s.commitLocked(walEntry{Op: opUpload, Dev: id, Data: data}) {
+		return // injected crash: the connection dies without a reply
+	}
 	s.uploads++
 	s.recordAckedLocked(id, data)
-	s.mu.Unlock()
+	s.ds.PutMerged(id, data)
+	if s.maybeCompactLocked() {
+		return
+	}
+	diedAfterAck := s.crashAtLocked(CrashAfterAck)
+	if !diedAfterAck {
+		s.mu.Unlock()
+	}
 	fmt.Fprint(conn, "OK\n")
 }
 
@@ -291,9 +389,12 @@ func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
 // client-stated offset and acknowledges the resulting stream length. An
 // offset short of the stream end rewinds it (the client re-synced after a
 // log rotation or master reset); an offset past the end is a gap the
-// client must resolve via OFFSET. Every acknowledged stream is merged into
-// the dataset before the ACK is sent, so an acknowledgement is a durable
-// promise even if the stream is later rewound.
+// client must resolve via OFFSET; a chunk that would grow the stream past
+// the configured cap is rejected outright (the stream is kept — FIN is how
+// a finished stream is dropped). Every accepted chunk is WAL-logged and
+// synced, and the resulting stream merged into the dataset, before the ACK
+// is sent: an acknowledgement is a durable promise even if the stream is
+// later rewound or the process is killed on the next instruction.
 func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 	if len(fields) != 5 {
 		fmt.Fprint(conn, "ERR bad header\n")
@@ -315,12 +416,20 @@ func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 		fmt.Fprint(conn, "ERR bad checksum\n")
 		return
 	}
+	if offset+size > s.cfg.MaxStreamBytes {
+		fmt.Fprint(conn, "ERR stream too large\n")
+		return
+	}
 	chunk, err := readBody(r, size, uint32(crc))
 	if err != nil {
 		fmt.Fprintf(conn, "ERR %v\n", err)
 		return
 	}
 	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
 	stream := s.streams[id]
 	if offset > len(stream) {
 		n := len(stream)
@@ -328,13 +437,21 @@ func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 		fmt.Fprintf(conn, "ERR gap: stream at %d, chunk at %d\n", n, offset)
 		return
 	}
+	if !s.commitLocked(walEntry{Op: opChunk, Dev: id, Off: offset, Data: chunk}) {
+		return
+	}
 	stream = append(stream[:offset:offset], chunk...)
 	s.streams[id] = stream
-	merged := append([]byte(nil), stream...)
 	s.uploads++
-	s.recordAckedLocked(id, merged)
-	s.mu.Unlock()
-	s.ds.PutMerged(id, merged)
+	s.recordAckedLocked(id, stream)
+	s.ds.PutMerged(id, stream)
+	if s.maybeCompactLocked() {
+		return
+	}
+	diedAfterAck := s.crashAtLocked(CrashAfterAck)
+	if !diedAfterAck {
+		s.mu.Unlock()
+	}
 	fmt.Fprintf(conn, "OK %d\n", len(stream))
 }
 
@@ -345,10 +462,102 @@ func (s *Server) handleOffset(conn net.Conn, fields []string) {
 		return
 	}
 	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
 	stream := s.streams[fields[1]]
 	n, sum := len(stream), crc32.Checksum(stream, castagnoli)
 	s.mu.Unlock()
 	fmt.Fprintf(conn, "OK %d %08x\n", n, sum)
+}
+
+// handleFin retires a device's chunk stream (the client is done uploading,
+// typically after the study-end full UPLOAD). The retirement is WAL-logged
+// so a restarted server does not resurrect the stream.
+func (s *Server) handleFin(conn net.Conn, fields []string) {
+	if len(fields) != 2 {
+		fmt.Fprint(conn, "ERR bad header\n")
+		return
+	}
+	id := fields[1]
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.streams[id]; ok {
+		if !s.commitLocked(walEntry{Op: opFin, Dev: id}) {
+			return
+		}
+		delete(s.streams, id)
+	}
+	s.mu.Unlock()
+	fmt.Fprint(conn, "OK\n")
+}
+
+// commitLocked makes one verb durable: WAL append, then the sync barrier,
+// with the supervisor's two pre-ACK crashpoints on either side of the sync.
+// Returns false when an injected crash consumed the request — the caller
+// must return immediately without replying (s.mu is already released).
+// Without a store the verb commits trivially. Caller holds s.mu.
+func (s *Server) commitLocked(e walEntry) bool {
+	if s.cfg.Store == nil {
+		return true
+	}
+	s.cfg.Store.Append(walName, encodeWALEntry(e))
+	if s.crashAtLocked(CrashBeforeWALSync) {
+		return false
+	}
+	s.cfg.Store.Sync(walName)
+	if s.crashAtLocked(CrashAfterWALSync) {
+		return false
+	}
+	return true
+}
+
+// maybeCompactLocked folds the state into a fresh snapshot once the WAL has
+// outgrown the configured bound: write snapshot.tmp, sync it, rename it
+// over snapshot (the atomic commit point), then truncate the WAL. Two
+// crashpoints bracket the commit point. Returns true when an injected
+// crash consumed the request (s.mu released). Caller holds s.mu.
+func (s *Server) maybeCompactLocked() bool {
+	st := s.cfg.Store
+	if st == nil || st.Size(walName) <= s.cfg.CompactEvery {
+		return false
+	}
+	st.WriteFile(snapTmpName, encodeSnapshot(s.ds.snapshot(), s.streams))
+	st.Sync(snapTmpName)
+	if s.crashAtLocked(CrashDuringCompaction) {
+		return true
+	}
+	st.Rename(snapTmpName, snapName)
+	if s.crashAtLocked(CrashAfterSnapshotInstall) {
+		return true
+	}
+	st.WriteFile(walName, nil)
+	st.Sync(walName)
+	s.compactions++
+	return false
+}
+
+// crashAtLocked fires an injected crash if the supervisor has armed this
+// crashpoint for this incarnation. On a kill the incarnation is marked
+// dead, its listener closed, the store crashed (tearing un-synced tails),
+// s.mu released, and the supervisor told to recover — by the time this
+// returns true a replacement server owns the state. Caller holds s.mu.
+func (s *Server) crashAtLocked(p Crashpoint) bool {
+	if s.cfg.monitor == nil || !s.cfg.monitor.atCrashpoint(s, p) {
+		return false
+	}
+	s.dead = true
+	_ = s.listener.Close()
+	if s.cfg.Store != nil {
+		s.cfg.Store.Crash()
+	}
+	s.mu.Unlock()
+	s.cfg.monitor.serverDied(s)
+	return true
 }
 
 // recordAckedLocked notes every record in data as acknowledged. Caller
@@ -375,6 +584,23 @@ func (s *Server) AckedKeys(id string) []string {
 		out = append(out, k)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// ackedSnapshot deep-copies the acked-record ledger; the supervisor
+// harvests it from a dying incarnation so the ground truth for the
+// no-acknowledged-data-loss invariant spans restarts.
+func (s *Server) ackedSnapshot() map[string]map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]bool, len(s.ackedKeys))
+	for id, keys := range s.ackedKeys {
+		cp := make(map[string]bool, len(keys))
+		for k := range keys {
+			cp[k] = true
+		}
+		out[id] = cp
+	}
 	return out
 }
 
@@ -445,4 +671,51 @@ func (ds *Dataset) PutMerged(deviceID string, data []byte) {
 		return
 	}
 	ds.files[deviceID] = EncodeRecords(MergeRecords(core.ParseRecords(old), core.ParseRecords(data)))
+}
+
+// snapshot copies the per-device logs (compaction input).
+func (ds *Dataset) snapshot() map[string][]byte {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make(map[string][]byte, len(ds.files))
+	for _, id := range sortedKeys(ds.files) {
+		out[id] = append([]byte(nil), ds.files[id]...)
+	}
+	return out
+}
+
+// resetTo replaces the dataset's content wholesale with recovered state (a
+// durable server restarting on its store owns the dataset outright).
+func (ds *Dataset) resetTo(files map[string][]byte) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.files = make(map[string][]byte, len(files))
+	for _, id := range sortedKeys(files) {
+		ds.files[id] = append([]byte(nil), files[id]...)
+	}
+}
+
+// Fin tells the collection server a device's chunk stream is done (the
+// server may drop it). Best-effort bookkeeping: the study data itself has
+// already been merged and acknowledged.
+func Fin(addr, deviceID string) error {
+	if strings.ContainsAny(deviceID, " \n\t") || deviceID == "" {
+		return fmt.Errorf("collect: invalid device id %q", deviceID)
+	}
+	conn, err := dialCollect(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "FIN %s\n", deviceID); err != nil {
+		return fmt.Errorf("collect: send header: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("collect: read reply: %w", err)
+	}
+	if strings.TrimSpace(reply) != "OK" {
+		return fmt.Errorf("collect: server rejected fin: %s", strings.TrimSpace(reply))
+	}
+	return nil
 }

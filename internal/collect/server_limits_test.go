@@ -1,0 +1,87 @@
+package collect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServerStreamCap: a chunk that would grow a device's stream past
+// MaxStreamBytes is rejected with "ERR stream too large", the stream it
+// would have grown is kept, and FIN is how a finished stream is released —
+// so a looping client cannot grow server memory without bound, and a
+// well-behaved one is never penalised.
+func TestServerStreamCap(t *testing.T) {
+	ds := NewDataset()
+	srv, err := NewServerWith("127.0.0.1:0", ds, ServerConfig{MaxStreamBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NetTransport{}
+	chunk := bytes.Repeat([]byte("x"), 40)
+
+	if _, err := tr.UploadChunk(srv.Addr(), "capdev", 0, chunk); err != nil {
+		t.Fatalf("first chunk under the cap rejected: %v", err)
+	}
+	_, err = tr.UploadChunk(srv.Addr(), "capdev", 40, chunk)
+	if err == nil || !strings.Contains(err.Error(), "stream too large") {
+		t.Fatalf("over-cap chunk: err = %v, want ERR stream too large", err)
+	}
+	// The rejection must not have dropped the stream.
+	if n, _, err := tr.Offset(srv.Addr(), "capdev"); err != nil || n != 40 {
+		t.Errorf("stream after rejection: n=%d err=%v, want the original 40 bytes", n, err)
+	}
+
+	// FIN releases the stream; the device can then start over from zero.
+	if err := Fin(srv.Addr(), "capdev"); err != nil {
+		t.Fatalf("FIN: %v", err)
+	}
+	if n, _, err := tr.Offset(srv.Addr(), "capdev"); err != nil || n != 0 {
+		t.Errorf("stream after FIN: n=%d err=%v, want 0", n, err)
+	}
+	if err := Fin(srv.Addr(), "capdev"); err != nil {
+		t.Errorf("FIN with no stream must still be OK: %v", err)
+	}
+	if _, err := tr.UploadChunk(srv.Addr(), "capdev", 0, chunk); err != nil {
+		t.Errorf("chunking again after FIN: %v", err)
+	}
+}
+
+// TestServerStreamCapDurable: the cap holds on the WAL-backed server too,
+// and a rejected chunk is never WAL-logged — recovery cannot resurrect
+// bytes the server refused.
+func TestServerStreamCapDurable(t *testing.T) {
+	store := NewCrashStore(nil)
+	ds := NewDataset()
+	srv, err := NewServerWith("127.0.0.1:0", ds, ServerConfig{MaxStreamBytes: 64, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NetTransport{}
+	chunk := bytes.Repeat([]byte("y"), 40)
+	if _, err := tr.UploadChunk(srv.Addr(), "capdev", 0, chunk); err != nil {
+		t.Fatal(err)
+	}
+	walAfterAccept := store.Size(walName)
+	if _, err := tr.UploadChunk(srv.Addr(), "capdev", 40, chunk); err == nil {
+		t.Fatal("over-cap chunk accepted on the durable server")
+	}
+	if store.Size(walName) != walAfterAccept {
+		t.Error("rejected chunk reached the WAL")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restart on the same store sees exactly the accepted stream.
+	ds2 := NewDataset()
+	srv2, err := NewServerWith("127.0.0.1:0", ds2, ServerConfig{MaxStreamBytes: 64, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if n, _, err := tr.Offset(srv2.Addr(), "capdev"); err != nil || n != 40 {
+		t.Errorf("recovered stream: n=%d err=%v, want 40", n, err)
+	}
+}

@@ -1,0 +1,121 @@
+package collect
+
+import (
+	"bytes"
+	"testing"
+
+	"symfail/internal/sim"
+)
+
+func TestCrashStoreAppendSyncRead(t *testing.T) {
+	s := NewCrashStore(nil)
+	s.Append("f", []byte("hello "))
+	s.Append("f", []byte("world"))
+	if got := s.Read("f"); string(got) != "hello world" {
+		t.Errorf("Read before sync = %q, want the full logical content", got)
+	}
+	if got := s.Size("f"); got != 11 {
+		t.Errorf("Size = %d, want 11", got)
+	}
+	s.Sync("f")
+	s.Append("f", []byte("!!!"))
+	if got := s.Read("f"); string(got) != "hello world!!!" {
+		t.Errorf("Read after sync+append = %q", got)
+	}
+	// A nil-RNG crash loses the whole un-synced tail, keeps the synced region.
+	s.Crash()
+	if got := s.Read("f"); string(got) != "hello world" {
+		t.Errorf("after crash = %q, want only the synced region", got)
+	}
+	if s.Read("missing") != nil || s.Size("missing") != 0 {
+		t.Error("missing file must read as nil/empty")
+	}
+}
+
+func TestCrashStoreTornTailIsStrictPrefixAndDeterministic(t *testing.T) {
+	run := func(seed uint64) []byte {
+		s := NewCrashStore(sim.NewRand(seed))
+		s.Append("f", []byte("synced region"))
+		s.Sync("f")
+		s.Append("f", []byte("this tail will tear"))
+		s.Crash()
+		return s.Read("f")
+	}
+	a, b := run(7), run(7)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same seed, different torn tails: %q vs %q", a, b)
+	}
+	if !bytes.HasPrefix(a, []byte("synced region")) {
+		t.Fatalf("crash damaged the synced region: %q", a)
+	}
+	tail := a[len("synced region"):]
+	if len(tail) >= len("this tail will tear") {
+		t.Errorf("torn tail kept %d bytes of %d — must be a strict prefix",
+			len(tail), len("this tail will tear"))
+	}
+	if !bytes.HasPrefix([]byte("this tail will tear"), tail) {
+		t.Errorf("kept tail %q is not a prefix of what was written", tail)
+	}
+}
+
+func TestCrashStoreStagedReplacementIsAllOrNothing(t *testing.T) {
+	s := NewCrashStore(nil)
+	s.Append("f", []byte("old content"))
+	s.Sync("f")
+
+	// Staged but not synced: readable now, gone after a crash.
+	s.WriteFile("f", []byte("NEW"))
+	if got := s.Read("f"); string(got) != "NEW" {
+		t.Errorf("Read of staged replacement = %q", got)
+	}
+	s.Crash()
+	if got := s.Read("f"); string(got) != "old content" {
+		t.Errorf("crash during staged replacement left %q, want the old synced content", got)
+	}
+
+	// Staged and synced: the replacement is durable.
+	s.WriteFile("f", []byte("NEW2"))
+	s.Sync("f")
+	s.Crash()
+	if got := s.Read("f"); string(got) != "NEW2" {
+		t.Errorf("synced replacement lost in crash: %q", got)
+	}
+
+	// Appends after WriteFile extend the staged copy, and die with it.
+	s.WriteFile("f", []byte("base"))
+	s.Append("f", []byte("+more"))
+	if got := s.Read("f"); string(got) != "base+more" {
+		t.Errorf("append onto staged replacement = %q", got)
+	}
+	s.Crash()
+	if got := s.Read("f"); string(got) != "NEW2" {
+		t.Errorf("crash must drop the staged copy and its appends, got %q", got)
+	}
+}
+
+func TestCrashStoreRenameRemoveDurable(t *testing.T) {
+	s := NewCrashStore(nil)
+	s.Append("tmp", []byte("snapshot bytes"))
+	s.Sync("tmp")
+	s.Append("target", []byte("old snapshot"))
+	s.Sync("target")
+
+	s.Rename("tmp", "target")
+	s.Crash() // metadata ops are journalled: the rename survives
+	if got := s.Read("target"); string(got) != "snapshot bytes" {
+		t.Errorf("after rename+crash target = %q", got)
+	}
+	if s.Read("tmp") != nil {
+		t.Error("old name still present after rename")
+	}
+
+	s.Remove("target")
+	s.Crash()
+	if s.Read("target") != nil {
+		t.Error("removed file came back after a crash")
+	}
+	s.Rename("missing", "other") // renaming a missing file is a no-op
+	if names := s.Names(); len(names) != 0 {
+		t.Errorf("store should be empty, has %v", names)
+	}
+}

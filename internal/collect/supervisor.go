@@ -1,0 +1,427 @@
+package collect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"symfail/internal/sim"
+)
+
+// Crashpoint names a place in the server's commit path where the
+// supervisor may kill the process. The points bracket every durability
+// decision: before the WAL sync (the un-synced entry dies with the
+// process), after it (durable but unacknowledged), after the ACK (durable
+// and acknowledged — the client must not need to care), and on either side
+// of compaction's atomic rename commit point.
+type Crashpoint int
+
+const (
+	// CrashBeforeWALSync kills after the WAL append, before the sync
+	// barrier: the entry is an un-synced tail and dies (torn) with the
+	// process. The client never got an ACK, so nothing acknowledged is
+	// lost — this is the point that would expose a sync-after-ACK bug.
+	CrashBeforeWALSync Crashpoint = iota
+	// CrashAfterWALSync kills between the sync barrier and the ACK: the
+	// verb is durable but the client treats the upload as failed and
+	// re-sends; the idempotent merge makes the re-send harmless.
+	CrashAfterWALSync
+	// CrashAfterAck kills once the ACK is on the wire: the client moves on
+	// and recovery alone must reproduce the acknowledged state.
+	CrashAfterAck
+	// CrashDuringCompaction kills after snapshot.tmp is written and synced
+	// but before the rename commit point: recovery must ignore the orphan
+	// tmp and replay the old snapshot + full WAL.
+	CrashDuringCompaction
+	// CrashAfterSnapshotInstall kills after the rename but before the WAL
+	// truncation: recovery replays the WAL against a snapshot that already
+	// contains its effects, which must be a no-op.
+	CrashAfterSnapshotInstall
+
+	numCrashpoints
+)
+
+// String names the crashpoint for logs and experiment tables.
+func (p Crashpoint) String() string {
+	switch p {
+	case CrashBeforeWALSync:
+		return "before-wal-sync"
+	case CrashAfterWALSync:
+		return "after-wal-sync"
+	case CrashAfterAck:
+		return "after-ack"
+	case CrashDuringCompaction:
+		return "during-compaction"
+	case CrashAfterSnapshotInstall:
+		return "after-snapshot-install"
+	default:
+		return fmt.Sprintf("crashpoint(%d)", int(p))
+	}
+}
+
+// CrashFaults calibrates server crash injection. The zero value never
+// kills. A kill is scheduled every KillEveryMin..KillEveryMax recognised
+// requests (uniform draw), at a uniformly drawn crashpoint.
+type CrashFaults struct {
+	KillEveryMin int
+	KillEveryMax int
+}
+
+// Enabled reports whether crash injection is armed.
+func (c CrashFaults) Enabled() bool { return c.KillEveryMin > 0 || c.KillEveryMax > 0 }
+
+// SupervisorConfig calibrates a supervised, durable collection server.
+type SupervisorConfig struct {
+	// MaxStreamBytes / CompactEvery pass through to ServerConfig.
+	MaxStreamBytes int
+	CompactEvery   int
+	// Crash schedules injected kills; requires Rng when enabled.
+	Crash CrashFaults
+	// Rng drives the kill schedule, the crashpoint draws and (via a Split
+	// child) the store's torn-tail lengths. With Workers:1 the whole
+	// crash/recover history is a pure function of this stream; with
+	// parallel workers the request interleaving — and therefore which
+	// request each kill lands on — is scheduling-dependent, and only the
+	// invariants (no acknowledged loss, canonical recovery) are stable.
+	Rng *sim.Rand
+	// Store, when set, resumes an existing medium (a prior supervisor's
+	// state); nil creates a fresh one.
+	Store *CrashStore
+}
+
+// Supervisor owns a durable collection server across injected crashes: it
+// schedules kills from its RNG, lets the dying incarnation tear its store,
+// then recovers the store (snapshot + WAL replay), rebinds the listener on
+// the same address and carries the upload and acked-record accounting
+// across incarnations. It is the process supervisor a real collection
+// service would run under, with the restart loop made deterministic.
+type Supervisor struct {
+	ds    *Dataset
+	addr  string
+	store *CrashStore
+	scfg  ServerConfig
+	crash CrashFaults
+
+	// cur is the live incarnation; armed holds 1+Crashpoint when a kill is
+	// pending (0 means none). Both are lock-free so a handler holding its
+	// server's mutex can consult them without ordering against mu.
+	cur   atomic.Pointer[Server]
+	armed atomic.Int32
+
+	mu            sync.Mutex
+	rng           *sim.Rand
+	disarmed      bool
+	untilKill     int
+	point         Crashpoint
+	armedAge      int
+	crashes       int
+	restarts      int
+	pointHits     [numCrashpoints]int
+	uploadsBefore int
+	compactBefore int
+	ackedBefore   map[string]map[string]bool
+	lastErr       error
+}
+
+// NewSupervisor starts a supervised durable server on addr. The dataset is
+// reset to whatever the store recovers (empty for a fresh store).
+func NewSupervisor(addr string, ds *Dataset, cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Crash.Enabled() && cfg.Rng == nil {
+		return nil, fmt.Errorf("collect: crash injection needs a sim.Rand")
+	}
+	sup := &Supervisor{
+		ds:          ds,
+		crash:       cfg.Crash,
+		rng:         cfg.Rng,
+		ackedBefore: make(map[string]map[string]bool),
+	}
+	sup.store = cfg.Store
+	if sup.store == nil {
+		var storeRng *sim.Rand
+		if cfg.Rng != nil {
+			// The torn-tail draws get their own stream so a crash's damage
+			// does not perturb the kill schedule.
+			storeRng = cfg.Rng.Split()
+		}
+		sup.store = NewCrashStore(storeRng)
+	}
+	sup.scfg = ServerConfig{
+		MaxStreamBytes: cfg.MaxStreamBytes,
+		CompactEvery:   cfg.CompactEvery,
+		Store:          sup.store,
+		monitor:        sup,
+	}
+	srv, err := NewServerWith(addr, ds, sup.scfg)
+	if err != nil {
+		return nil, err
+	}
+	sup.addr = srv.Addr() // pin the resolved port: restarts rebind it
+	sup.cur.Store(srv)
+	if sup.crash.Enabled() {
+		sup.mu.Lock()
+		sup.drawKillLocked()
+		sup.mu.Unlock()
+	}
+	return sup, nil
+}
+
+// Addr returns the pinned listen address (stable across restarts).
+func (s *Supervisor) Addr() string { return s.addr }
+
+// Server returns the live incarnation (nil only after a failed restart or
+// Close during a crash).
+func (s *Supervisor) Server() *Server { return s.cur.Load() }
+
+// Store returns the durable medium shared by every incarnation.
+func (s *Supervisor) Store() *CrashStore { return s.store }
+
+// Err returns the first restart failure, if any.
+func (s *Supervisor) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Crashes returns how many injected kills fired; Restarts how many
+// incarnations came back up (equal unless a restart failed or Close raced
+// a crash).
+func (s *Supervisor) Crashes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashes
+}
+
+// Restarts returns the number of successful restarts.
+func (s *Supervisor) Restarts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// Hits returns how many kills fired at the given crashpoint.
+func (s *Supervisor) Hits(p Crashpoint) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 || p >= numCrashpoints {
+		return 0
+	}
+	return s.pointHits[p]
+}
+
+// Disarm stops scheduling further kills (already-armed ones still fire).
+func (s *Supervisor) Disarm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disarmed = true
+}
+
+// Close disarms the supervisor and shuts the live incarnation down.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	s.disarmed = true
+	s.mu.Unlock()
+	if srv := s.cur.Load(); srv != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// Uploads returns the successful uploads served across every incarnation.
+func (s *Supervisor) Uploads() int {
+	srv := s.cur.Load()
+	s.mu.Lock()
+	n := s.uploadsBefore
+	s.mu.Unlock()
+	if srv != nil {
+		n += srv.Uploads()
+	}
+	return n
+}
+
+// Compactions returns snapshot compactions run across every incarnation.
+func (s *Supervisor) Compactions() int {
+	srv := s.cur.Load()
+	s.mu.Lock()
+	n := s.compactBefore
+	s.mu.Unlock()
+	if srv != nil {
+		n += srv.Compactions()
+	}
+	return n
+}
+
+// AckedKeys returns the serialized form of every record any incarnation
+// ever acknowledged for a device, sorted — the exact wire-level ground
+// truth for the no-acknowledged-data-loss invariant across crashes.
+func (s *Supervisor) AckedKeys(id string) []string {
+	srv := s.cur.Load()
+	set := make(map[string]bool)
+	s.mu.Lock()
+	for k := range s.ackedBefore[id] {
+		set[k] = true
+	}
+	s.mu.Unlock()
+	if srv != nil {
+		for _, k := range srv.AckedKeys(id) {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AckedDevices returns every device any incarnation acknowledged records
+// for, sorted.
+func (s *Supervisor) AckedDevices() []string {
+	srv := s.cur.Load()
+	set := make(map[string]bool)
+	s.mu.Lock()
+	for id := range s.ackedBefore {
+		set[id] = true
+	}
+	s.mu.Unlock()
+	if srv != nil {
+		for id := range srv.ackedSnapshot() {
+			set[id] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// repointWindow is how many further requests an armed kill may wait for
+// its crashpoint before being repointed at the commit path: a kill drawn
+// for a compaction crashpoint stalls forever if the WAL never reaches the
+// compaction bound, and a stalled kill would silently disable injection —
+// or, kept too long, quietly halve the effective kill rate.
+const repointWindow = 16
+
+// beginRequest is the server's per-request hook (called with no locks
+// held). It advances the kill countdown and arms the crashpoint atomics
+// when the countdown reaches zero.
+func (s *Supervisor) beginRequest(srv *Server) {
+	if s.cur.Load() != srv {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disarmed || !s.crash.Enabled() || s.rng == nil {
+		return
+	}
+	if s.armed.Load() != 0 {
+		// A kill is pending; if its crashpoint never comes up (compaction
+		// that never triggers), deterministically repoint it at the next
+		// WAL sync so injection cannot stall.
+		s.armedAge++
+		if s.armedAge > repointWindow && s.point != CrashBeforeWALSync {
+			if s.armed.CompareAndSwap(1+int32(s.point), 1+int32(CrashBeforeWALSync)) {
+				s.point = CrashBeforeWALSync
+				s.armedAge = 0
+			}
+		}
+		return
+	}
+	if s.untilKill <= 0 {
+		return // consumed, waiting for serverDied to redraw
+	}
+	s.untilKill--
+	if s.untilKill == 0 {
+		s.armedAge = 0
+		s.armed.Store(1 + int32(s.point))
+	}
+}
+
+// atCrashpoint reports whether the armed kill fires here, consuming it.
+// Lock-free: handlers call this while holding their server's mutex.
+func (s *Supervisor) atCrashpoint(srv *Server, p Crashpoint) bool {
+	if s.cur.Load() != srv {
+		return false
+	}
+	return s.armed.CompareAndSwap(1+int32(p), 0)
+}
+
+// drawKillLocked schedules the next kill: a request countdown in
+// [KillEveryMin, KillEveryMax] and a uniformly drawn crashpoint. Caller
+// holds s.mu.
+func (s *Supervisor) drawKillLocked() {
+	lo, hi := s.crash.KillEveryMin, s.crash.KillEveryMax
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	s.untilKill = lo + s.rng.Intn(hi-lo+1)
+	s.point = Crashpoint(s.rng.Intn(int(numCrashpoints)))
+}
+
+// serverDied is called by the dying incarnation (no locks held) after it
+// marked itself dead, closed its listener and crashed the store. The
+// supervisor harvests the incarnation's accounting, recovers the store by
+// constructing a replacement on the pinned address, and rearms the kill
+// schedule.
+func (s *Supervisor) serverDied(old *Server) {
+	deadUploads := old.Uploads()
+	deadCompactions := old.Compactions()
+	deadAcked := old.ackedSnapshot()
+
+	s.mu.Lock()
+	s.crashes++
+	s.pointHits[s.point]++
+	s.uploadsBefore += deadUploads
+	s.compactBefore += deadCompactions
+	for id, keys := range deadAcked {
+		dst := s.ackedBefore[id]
+		if dst == nil {
+			dst = make(map[string]bool, len(keys))
+			s.ackedBefore[id] = dst
+		}
+		for k := range keys {
+			dst[k] = true
+		}
+	}
+	disarmed := s.disarmed
+	s.mu.Unlock()
+
+	if disarmed {
+		s.cur.Store(nil)
+		return
+	}
+
+	var next *Server
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		next, err = NewServerWith(s.addr, s.ds, s.scfg)
+		if err == nil {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		s.lastErr = fmt.Errorf("collect: supervisor restart: %w", err)
+		s.cur.Store(nil)
+		s.mu.Unlock()
+		return
+	}
+	if s.disarmed {
+		// Close raced the restart; do not leak the new incarnation.
+		s.cur.Store(nil)
+		s.mu.Unlock()
+		_ = next.Close()
+		return
+	}
+	s.restarts++
+	s.cur.Store(next)
+	s.drawKillLocked()
+	s.mu.Unlock()
+}

@@ -25,6 +25,12 @@ type Transport interface {
 	Offset(addr, deviceID string) (length int, sum uint32, err error)
 }
 
+// ErrRefused is the injected connection-refusal error: the connection
+// never happened and no payload byte flowed (the uploader's
+// BytesRetransmitted accounting relies on telling refusals apart from
+// transfers that died mid-flight).
+var ErrRefused = errors.New("collect: connection refused (injected)")
+
 // rawChunkSender is the optional capability FaultyTransport uses to model
 // in-flight damage: the header declares (length, checksum of) the intended
 // chunk while the body bytes actually sent differ — a truncated prefix for
@@ -188,7 +194,7 @@ func NewFaultyTransport(inner Transport, faults NetFaults, rng *sim.Rand) *Fault
 func (t *FaultyTransport) UploadChunk(addr, deviceID string, offset int, chunk []byte) (int, error) {
 	if t.rng.Bool(t.faults.RefuseProb) {
 		t.refused++
-		return 0, errors.New("collect: connection refused (injected)")
+		return 0, ErrRefused
 	}
 	if len(chunk) > 0 && t.rng.Bool(t.faults.DropProb) {
 		t.dropped++
@@ -224,7 +230,7 @@ func (t *FaultyTransport) UploadChunk(addr, deviceID string, offset int, chunk [
 func (t *FaultyTransport) Offset(addr, deviceID string) (int, uint32, error) {
 	if t.rng.Bool(t.faults.RefuseProb) {
 		t.refused++
-		return 0, 0, errors.New("collect: connection refused (injected)")
+		return 0, 0, ErrRefused
 	}
 	return t.inner.Offset(addr, deviceID)
 }

@@ -1,7 +1,9 @@
 package collect
 
 import (
+	"errors"
 	"hash/crc32"
+	"syscall"
 	"time"
 
 	"symfail/internal/phone"
@@ -56,6 +58,17 @@ type Uploader struct {
 	retryPending bool
 	bytesSent    int64
 	lastErr      error
+
+	// Observability counters (see the accessors for semantics).
+	retries       int
+	resumes       int
+	reconnects    int
+	retransmitted int64
+	// sentHigh is the high-water end offset of every chunk that reached
+	// the wire for the current file identity; bytes offered again below it
+	// count as retransmission. Reset when rotation or a master reset gives
+	// the file a new identity.
+	sentHigh int
 }
 
 // AttachUploader installs a periodic uploader on a device. path is the
@@ -93,10 +106,33 @@ func (u *Uploader) Successes() int { return u.successes }
 // uploads this tracks the log's growth, not successes × file size.
 func (u *Uploader) BytesSent() int64 { return u.bytesSent }
 
-// LastErr returns the most recent upload error. A successful upload clears
-// it to nil, so a non-nil value means "currently failing", not "failed
-// once ever".
+// LastErr returns the most recent upload error. Any successful server
+// round-trip — OFFSET included — clears it to nil, so a non-nil value
+// means "currently failing", not "failed once ever".
 func (u *Uploader) LastErr() error { return u.lastErr }
+
+// Retries counts upload attempts fired by the backoff timer (between
+// periodic ticks), as opposed to the ticks themselves.
+func (u *Uploader) Retries() int { return u.retries }
+
+// Resumes counts successful OFFSET renegotiations: after a failure the
+// uploader asked the server where it stands and resumed from the server's
+// authoritative offset instead of re-sending blind.
+func (u *Uploader) Resumes() int { return u.resumes }
+
+// Reconnects counts uploads that succeeded immediately after one or more
+// failures — the connection came back.
+func (u *Uploader) Reconnects() int { return u.reconnects }
+
+// BytesRetransmitted counts payload bytes put on the wire again below the
+// high-water mark of what had already been sent: the cost of lost
+// acknowledgements and of offset regression, where a crashed server lost
+// an un-synced stream tail and the client rewound to the server's
+// authoritative offset. Refused connections carry no bytes and do not
+// count; an attempt that reaches the wire counts its declared tail even if
+// the transfer then dies. Rotation and master resets reset the high-water
+// mark — a fresh file re-sent from zero is new data, not retransmission.
+func (u *Uploader) BytesRetransmitted() int64 { return u.retransmitted }
 
 func (u *Uploader) loop() {
 	u.dev.Engine().After(u.cfg.Every, "upload "+u.dev.ID(), func() {
@@ -131,6 +167,7 @@ func (u *Uploader) scheduleRetry() {
 	u.dev.Engine().After(delay, "upload-retry "+u.dev.ID(), func() {
 		u.retryPending = false
 		if u.dev.State() == phone.StateOn {
+			u.retries++
 			u.uploadNow()
 		}
 	})
@@ -151,9 +188,11 @@ func (u *Uploader) uploadNow() {
 	u.attempts++
 	// The acknowledged prefix must still be the file's prefix; rotation or
 	// a master reset rewrites history and forces a full re-send (the
-	// server's merge dedups whatever it already had).
+	// server's merge dedups whatever it already had). The file has a new
+	// identity, so the retransmission high-water mark resets with it.
 	if u.acked > len(data) || crc32.Checksum(data[:u.acked], castagnoli) != u.ackedCRC {
 		u.acked, u.ackedCRC = 0, 0
+		u.sentHigh = 0
 	}
 	if u.resync {
 		n, sum, err := u.cfg.Transport.Offset(u.addr, u.dev.ID())
@@ -161,19 +200,44 @@ func (u *Uploader) uploadNow() {
 			u.fail(err)
 			return
 		}
+		// The server answered: whatever the last failure was, the link is
+		// back. A non-nil LastErr must mean "currently failing", so every
+		// successful verb clears it.
+		u.lastErr = nil
+		u.resumes++
 		if n <= len(data) && crc32.Checksum(data[:n], castagnoli) == sum {
-			// The server is exactly n bytes into our file (a lost ACK
-			// left it ahead of our record); resume from there.
+			// The server is exactly n bytes into our file; resume from
+			// there. n above our record means a lost ACK left the server
+			// ahead of us; n below it is offset regression — the server
+			// lost un-synced stream tail in a crash and its word is the
+			// authoritative one, so rewind and re-send from n.
 			u.acked, u.ackedCRC = n, sum
 		} else {
 			// The server's stream is not a prefix of our file (master
-			// reset, rotation): start the stream over from 0.
+			// reset, rotation, or the server lost the stream wholesale):
+			// start the stream over from 0.
 			u.acked, u.ackedCRC = 0, 0
 		}
 		u.resync = false
 	}
 	tail := data[u.acked:]
-	if _, err := u.cfg.Transport.UploadChunk(u.addr, u.dev.ID(), u.acked, tail); err != nil {
+	start, end := u.acked, u.acked+len(tail)
+	_, err := u.cfg.Transport.UploadChunk(u.addr, u.dev.ID(), start, tail)
+	if err == nil || !isRefused(err) {
+		// The chunk reached the wire (even if the transfer then died);
+		// anything below the sent high-water mark is retransmission.
+		if start < u.sentHigh && len(tail) > 0 {
+			over := u.sentHigh - start
+			if over > len(tail) {
+				over = len(tail)
+			}
+			u.retransmitted += int64(over)
+		}
+		if end > u.sentHigh {
+			u.sentHigh = end
+		}
+	}
+	if err != nil {
 		// Flaky networks must not crash the phone; back off and retry.
 		u.fail(err)
 		return
@@ -182,6 +246,15 @@ func (u *Uploader) uploadNow() {
 	u.acked = len(data)
 	u.ackedCRC = crc32.Checksum(data, castagnoli)
 	u.successes++
+	if u.failStreak > 0 {
+		u.reconnects++
+	}
 	u.failStreak = 0
 	u.lastErr = nil
+}
+
+// isRefused reports whether an upload error means the connection never
+// happened — no bytes flowed, so nothing was (re)transmitted.
+func isRefused(err error) bool {
+	return errors.Is(err, ErrRefused) || errors.Is(err, syscall.ECONNREFUSED)
 }

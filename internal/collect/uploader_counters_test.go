@@ -1,0 +1,242 @@
+package collect
+
+import (
+	"errors"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+)
+
+// scriptTransport is an in-memory Transport whose failures are scripted one
+// call at a time, so each uploader counter can be pinned to an exact value.
+type scriptTransport struct {
+	streams map[string][]byte
+
+	refuseChunk  int // refuse the next N chunk calls (no bytes reach the wire)
+	failChunk    int // fail the next N chunk calls after the bytes hit the wire
+	refuseOffset int
+	failOffset   int
+}
+
+func newScriptTransport() *scriptTransport {
+	return &scriptTransport{streams: make(map[string][]byte)}
+}
+
+func (s *scriptTransport) UploadChunk(addr, id string, off int, chunk []byte) (int, error) {
+	if s.refuseChunk > 0 {
+		s.refuseChunk--
+		return 0, ErrRefused
+	}
+	if s.failChunk > 0 {
+		s.failChunk--
+		return 0, errors.New("injected: connection dropped mid-transfer")
+	}
+	st := s.streams[id]
+	if off > len(st) {
+		return 0, errors.New("injected: gap")
+	}
+	st = append(st[:off:off], chunk...)
+	s.streams[id] = st
+	return len(st), nil
+}
+
+func (s *scriptTransport) Offset(addr, id string) (int, uint32, error) {
+	if s.refuseOffset > 0 {
+		s.refuseOffset--
+		return 0, 0, ErrRefused
+	}
+	if s.failOffset > 0 {
+		s.failOffset--
+		return 0, 0, errors.New("injected: offset query failed")
+	}
+	st := s.streams[id]
+	return len(st), crc32.Checksum(st, castagnoli), nil
+}
+
+// counterRig boots one quiet phone with a logger and returns it with an
+// uploader wired to the script transport. The engine has run long enough
+// that the log is non-empty; tests then call uploadNow directly to script
+// the exact attempt sequence.
+func counterRig(t *testing.T, seed uint64, cfg UploaderConfig) (*sim.Engine, *Uploader) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := phone.NewDevice("ctr-dev", eng, quietConfig(seed))
+	l := core.Install(d, core.Config{})
+	u := AttachUploaderWith(d, "scripted", l.Config().LogPath, cfg)
+	d.Enroll(sim.Epoch)
+	if err := eng.Run(sim.Epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	return eng, u
+}
+
+// TestUploaderRetriesCounter drives the backoff timer through two failures:
+// the periodic tick fails, a first retry fails on the OFFSET renegotiation,
+// a second retry succeeds. Retries counts exactly the timer-fired attempts.
+func TestUploaderRetriesCounter(t *testing.T) {
+	tr := newScriptTransport()
+	tr.failChunk = 1
+	tr.failOffset = 1
+	eng := sim.NewEngine()
+	d := phone.NewDevice("ctr-dev", eng, quietConfig(11))
+	l := core.Install(d, core.Config{})
+	u := AttachUploaderWith(d, "scripted", l.Config().LogPath, UploaderConfig{
+		Every:     6 * time.Hour,
+		RetryBase: 30 * time.Minute,
+		RetryMax:  4 * time.Hour,
+		Transport: tr,
+	})
+	d.Enroll(sim.Epoch)
+	// Tick at 6 h fails; retry at 6 h 30 min fails on OFFSET; the backoff
+	// doubles and the retry at 7 h 30 min succeeds. Stop before the next
+	// periodic tick at 12 h.
+	if err := eng.Run(sim.Epoch.Add(9 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if u.Attempts() != 3 || u.Successes() != 1 {
+		t.Errorf("attempts=%d successes=%d, want 3/1", u.Attempts(), u.Successes())
+	}
+	if u.Retries() != 2 {
+		t.Errorf("Retries = %d, want 2 (both timer-fired attempts)", u.Retries())
+	}
+	if u.Resumes() != 1 {
+		t.Errorf("Resumes = %d, want 1 (one successful OFFSET renegotiation)", u.Resumes())
+	}
+	if u.Reconnects() != 1 {
+		t.Errorf("Reconnects = %d, want 1 (one success directly after failures)", u.Reconnects())
+	}
+	if u.LastErr() != nil {
+		t.Errorf("LastErr = %v after a successful upload", u.LastErr())
+	}
+}
+
+// TestUploaderOffsetRegressionRewindsAndCounts scripts the crash-recovery
+// protocol end to end: the server loses the un-synced half of the stream,
+// the client renegotiates via OFFSET, rewinds to the server's authoritative
+// offset and re-sends — and BytesRetransmitted counts exactly the rewound
+// bytes, with a refused attempt in the middle contributing zero.
+func TestUploaderOffsetRegressionRewindsAndCounts(t *testing.T) {
+	tr := newScriptTransport()
+	_, u := counterRig(t, 12, UploaderConfig{Every: 24 * time.Hour, Transport: tr})
+
+	u.uploadNow() // clean first upload
+	if u.Successes() != 1 {
+		t.Fatalf("setup upload failed: %v", u.LastErr())
+	}
+	full := len(tr.streams["ctr-dev"])
+	if full == 0 {
+		t.Fatal("nothing uploaded")
+	}
+	if u.BytesRetransmitted() != 0 {
+		t.Fatalf("BytesRetransmitted = %d before any re-send", u.BytesRetransmitted())
+	}
+
+	// The server crashes and loses the un-synced second half of the stream;
+	// the client's next attempt fails, arming a resync.
+	kept := full / 2
+	tr.streams["ctr-dev"] = tr.streams["ctr-dev"][:kept]
+	tr.failChunk = 1
+	u.uploadNow()
+	if u.LastErr() == nil {
+		t.Fatal("scripted failure did not register")
+	}
+
+	// Resync sees the regression and rewinds, but the re-send itself is
+	// refused: no bytes flowed, so nothing counts as retransmitted.
+	tr.refuseChunk = 1
+	u.uploadNow()
+	if u.Resumes() != 1 {
+		t.Errorf("Resumes = %d after the OFFSET renegotiation, want 1", u.Resumes())
+	}
+	if u.BytesRetransmitted() != 0 {
+		t.Errorf("BytesRetransmitted = %d after a refused attempt, want 0", u.BytesRetransmitted())
+	}
+
+	// The next attempt reaches the wire and re-sends everything past the
+	// server's offset — full-kept bytes below the sent high-water mark.
+	u.uploadNow()
+	if u.LastErr() != nil {
+		t.Fatalf("final attempt failed: %v", u.LastErr())
+	}
+	if got, want := u.BytesRetransmitted(), int64(full-kept); got != want {
+		t.Errorf("BytesRetransmitted = %d, want %d (the rewound tail)", got, want)
+	}
+	if len(tr.streams["ctr-dev"]) != full {
+		t.Errorf("server stream = %d bytes after recovery, want %d", len(tr.streams["ctr-dev"]), full)
+	}
+	if u.Reconnects() != 1 {
+		t.Errorf("Reconnects = %d, want 1", u.Reconnects())
+	}
+}
+
+// TestUploaderLastErrClearedByEveryVerb: LastErr means "currently failing".
+// Any successful round-trip — OFFSET included — clears it; a refusal sets
+// it to the sentinel the caller can test with errors.Is.
+func TestUploaderLastErrClearedByEveryVerb(t *testing.T) {
+	tr := newScriptTransport()
+	_, u := counterRig(t, 13, UploaderConfig{Every: 24 * time.Hour, Transport: tr})
+
+	tr.refuseOffset = 1
+	tr.failChunk = 1
+	u.uploadNow() // chunk fails → currently failing
+	u.uploadNow() // resync refused → still failing, with the refusal error
+	if !errors.Is(u.LastErr(), ErrRefused) {
+		t.Errorf("LastErr = %v, want the ErrRefused sentinel", u.LastErr())
+	}
+	u.uploadNow() // OFFSET and chunk both succeed
+	if u.LastErr() != nil {
+		t.Errorf("LastErr = %v after full success, want nil", u.LastErr())
+	}
+	if u.Reconnects() != 1 {
+		t.Errorf("Reconnects = %d, want 1", u.Reconnects())
+	}
+}
+
+// TestUploaderRotationResetsHighWater: a log that is rewritten wholesale (a
+// master reset) gets a new identity — re-sending the fresh file from zero
+// is new data, not retransmission.
+func TestUploaderRotationResetsHighWater(t *testing.T) {
+	tr := newScriptTransport()
+	eng := sim.NewEngine()
+	d := phone.NewDevice("ctr-dev", eng, quietConfig(14))
+	l := core.Install(d, core.Config{})
+	u := AttachUploaderWith(d, "scripted", l.Config().LogPath, UploaderConfig{
+		Every: 24 * time.Hour, Transport: tr,
+	})
+	d.Enroll(sim.Epoch)
+	if err := eng.Run(sim.Epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	u.uploadNow()
+	if u.Successes() != 1 {
+		t.Fatalf("setup upload failed: %v", u.LastErr())
+	}
+
+	// Rewrite the log with unrelated content: the acknowledged prefix no
+	// longer matches, so the uploader detects the new identity and starts
+	// the stream over from zero. The server lost the stream in the same
+	// master reset. Without the high-water reset, this full send from
+	// offset 0 would all sit below the old mark and be miscounted as
+	// retransmission.
+	fresh := walTestRecords(1000, 1001)
+	if !d.FS().Write(l.Config().LogPath, fresh) {
+		t.Fatal("FS.Write failed")
+	}
+	tr.streams["ctr-dev"] = nil
+	u.uploadNow()
+	if u.LastErr() != nil {
+		t.Fatalf("re-send failed: %v", u.LastErr())
+	}
+	if u.BytesRetransmitted() != 0 {
+		t.Errorf("BytesRetransmitted = %d after a rotation, want 0 — fresh bytes are not re-sends",
+			u.BytesRetransmitted())
+	}
+	if string(tr.streams["ctr-dev"]) != string(fresh) {
+		t.Errorf("server stream = %q, want the fresh log", tr.streams["ctr-dev"])
+	}
+}

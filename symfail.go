@@ -88,11 +88,20 @@ type AdversityConfig struct {
 	// RetryBase/RetryMax arm the uploader's exponential backoff between
 	// periodic ticks (zero RetryBase leaves retrying to the next tick).
 	RetryBase, RetryMax time.Duration
+	// ServerCrash injects collection-server crashes: the supervisor kills
+	// the server at drawn crashpoints mid-study and restarts it from its
+	// write-ahead log (see collect.Supervisor). Only meaningful on the TCP
+	// collector path (RunFieldStudyWithCollector).
+	ServerCrash collect.CrashFaults
+	// ServerCompactWAL overrides the WAL size that triggers server
+	// snapshot compaction (zero keeps collect.DefaultCompactEvery); small
+	// values make short chaos runs exercise the compaction crashpoints.
+	ServerCompactWAL int
 }
 
 // Enabled reports whether any adversity is armed.
 func (c AdversityConfig) Enabled() bool {
-	return c.Flash.Enabled() || c.Net.Enabled()
+	return c.Flash.Enabled() || c.Net.Enabled() || c.ServerCrash.Enabled()
 }
 
 // DefaultFieldStudyConfig mirrors the paper's deployment.
@@ -118,6 +127,12 @@ type FieldStudy struct {
 	Reporters []*core.UserReporter
 	// BaselineDataset holds the D_EXC panic-only logs when enabled.
 	BaselineDataset *collect.Dataset
+	// Uploaders holds the per-device periodic uploaders (aligned with
+	// Fleet.Devices) when the TCP collector path with periodic uploads was
+	// configured; nil otherwise. Their counters — retries, resumes,
+	// reconnects, bytes retransmitted — are the client-side ledger of what
+	// the injected adversity cost.
+	Uploaders []*collect.Uploader
 }
 
 // RunFieldStudy builds the fleet, installs the logger on every phone, runs
@@ -145,6 +160,7 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 	loggers := make([]*core.Logger, 0, len(fleet.Devices))
 	var reporters []*core.UserReporter
 	var baselines []*core.DExc
+	var uploaders []*collect.Uploader
 	for _, d := range fleet.Devices {
 		l := core.Install(d, cfg.Logger)
 		loggers = append(loggers, l)
@@ -167,7 +183,7 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 				ucfg.Transport = collect.NewFaultyTransport(nil, cfg.Adversity.Net, d.SplitRand())
 				ucfg.Rng = d.SplitRand()
 			}
-			collect.AttachUploaderWith(d, cfg.CollectorAddr, l.Config().LogPath, ucfg)
+			uploaders = append(uploaders, collect.AttachUploaderWith(d, cfg.CollectorAddr, l.Config().LogPath, ucfg))
 		}
 	}
 	if err := fleet.Run(); err != nil {
@@ -182,8 +198,8 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 	err := sim.RunShards(len(loggers), cfg.Workers, func(i int) error {
 		id := fleet.Devices[i].ID()
 		if cfg.CollectorAddr != "" {
-			if err := collect.Upload(cfg.CollectorAddr, id, loggers[i].LogBytes()); err != nil {
-				return fmt.Errorf("symfail: upload %s: %w", id, err)
+			if err := uploadFinal(cfg.CollectorAddr, id, loggers[i].LogBytes()); err != nil {
+				return err
 			}
 		} else {
 			ds.Put(id, loggers[i].LogBytes())
@@ -197,7 +213,7 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 	study := analysis.New(ds.AllRecords(), cfg.Analysis)
 	out := &FieldStudy{
 		Fleet: fleet, Loggers: loggers, Dataset: ds, Study: study,
-		Reporters: reporters,
+		Reporters: reporters, Uploaders: uploaders,
 	}
 	if cfg.WithDExc {
 		out.BaselineDataset = collect.NewDataset()
@@ -208,30 +224,73 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 	return out, nil
 }
 
+// uploadFinal ships a device's end-of-study log, riding out collector
+// restarts: an injected server crash can land mid-upload, in which case
+// the client sees a dead connection, the supervisor replays the WAL and
+// rebinds, and the retry re-sends the payload — harmless, because the
+// server's merge is idempotent. The FIN afterwards retires the device's
+// chunk stream on the server (best-effort bookkeeping; the data itself is
+// already merged and acknowledged).
+func uploadFinal(addr, id string, data []byte) error {
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			// Host-time pause: the collector is a real TCP server
+			// restarting in host time, not simulated time. The pause never
+			// influences simulation state — the fleet has already run.
+			time.Sleep(time.Duration(attempt*attempt) * time.Millisecond)
+		}
+		if err = collect.Upload(addr, id, data); err == nil {
+			_ = collect.Fin(addr, id)
+			return nil
+		}
+	}
+	return fmt.Errorf("symfail: upload %s: %w", id, err)
+}
+
+// collectorSeedSalt derives the collection tier's RNG stream from the
+// study seed while keeping it independent of every device stream: killing
+// the server more or less often must never change what happens on a phone.
+const collectorSeedSalt = 0x636f6c6c656374
+
 // RunFieldStudyWithCollector runs the study uploading logs over TCP to a
-// fresh local collection server, returning both. The caller owns the
-// server's lifetime. Phones upload weekly (unless cfg.UploadEvery says
-// otherwise), so data logged before a service-visit master reset survives
-// on the server.
-func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Server, error) {
+// fresh local collection server, returning the study and the server's
+// supervisor. The caller owns the supervisor's lifetime. Phones upload
+// weekly (unless cfg.UploadEvery says otherwise), so data logged before a
+// service-visit master reset survives on the server.
+//
+// The server is durable: every acknowledged verb is write-ahead-logged on
+// a crash-faithful store before the ACK reaches the wire. When
+// cfg.Adversity.ServerCrash is armed the supervisor kills the server at
+// drawn crashpoints mid-study and restarts it from that log; with
+// Workers:1 the whole crash/recover history is deterministic in the seed.
+func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Supervisor, error) {
 	ds := collect.NewDataset()
-	srv, err := collect.NewServer("127.0.0.1:0", ds)
+	sup, err := collect.NewSupervisor("127.0.0.1:0", ds, collect.SupervisorConfig{
+		Crash:        cfg.Adversity.ServerCrash,
+		CompactEvery: cfg.Adversity.ServerCompactWAL,
+		Rng:          sim.NewRand(cfg.Seed ^ collectorSeedSalt),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg.CollectorAddr = srv.Addr()
+	cfg.CollectorAddr = sup.Addr()
 	if cfg.UploadEvery <= 0 {
 		cfg.UploadEvery = 7 * 24 * time.Hour
 	}
 	fs, err := RunFieldStudy(cfg)
 	if err != nil {
-		_ = srv.Close()
+		_ = sup.Close()
+		return nil, nil, err
+	}
+	if err := sup.Err(); err != nil {
+		_ = sup.Close()
 		return nil, nil, err
 	}
 	// Analyse the dataset that actually travelled over the wire.
 	fs.Dataset = ds
 	fs.Study = analysis.New(ds.AllRecords(), cfg.Analysis)
-	return fs, srv, nil
+	return fs, sup, nil
 }
 
 // RunForumStudy generates the synthetic web-forum corpus and runs the
