@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check chaos chaos-kill fuzz parallel test test-short bench bench-parallel repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint check chaos chaos-kill fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -44,6 +44,13 @@ fuzz:
 parallel:
 	$(GO) test -race -run 'ParallelEquivalence' -v .
 
+# Streaming-vs-batch equivalence: the single-pass accumulators, the batch
+# Study, and shard-merged partial accumulators must snapshot to identical
+# bytes, anchored to the pinned golden fingerprints, under the race
+# detector (DESIGN.md §11).
+stream:
+	$(GO) test -race -run 'Stream' -v . ./internal/analysis/...
+
 test:
 	$(GO) test ./...
 
@@ -56,6 +63,10 @@ bench:
 # Fleet-scaling grid (phones x workers) -> BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run xxx -bench BenchmarkFleetScaling -benchtime 1x .
+
+# Batch-vs-stream analysis pipelines -> BENCH_analysis.json.
+bench-analysis:
+	$(GO) test -run xxx -bench BenchmarkStudyStreamVsBatch -benchtime 5x .
 
 # The whole paper: sections 4-6, every table and figure (~10 s).
 repro:

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	analyze -data <dir> [-threshold 360s] [-window 5m] [-json]
+//	analyze -data <dir> [-threshold 360s] [-window 5m] [-json] [-stream]
+//
+// With -stream the dataset is analysed in a single incremental pass through
+// the streaming accumulators (internal/analysis/stream): one device's log is
+// in memory at a time, and the printed tables are byte-identical to the
+// batch path's.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"symfail/internal/analysis"
+	"symfail/internal/analysis/stream"
 	"symfail/internal/collect"
 	"symfail/internal/report"
 )
@@ -44,10 +50,11 @@ type summary struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	var (
-		dataDir   = fs.String("data", "", "directory with an exported dataset (required)")
-		threshold = fs.Duration("threshold", 360*time.Second, "self-shutdown threshold")
-		window    = fs.Duration("window", 5*time.Minute, "panic/HL coalescence window")
-		asJSON    = fs.Bool("json", false, "emit a machine-readable summary instead of the tables")
+		dataDir    = fs.String("data", "", "directory with an exported dataset (required)")
+		threshold  = fs.Duration("threshold", 360*time.Second, "self-shutdown threshold")
+		window     = fs.Duration("window", 5*time.Minute, "panic/HL coalescence window")
+		asJSON     = fs.Bool("json", false, "emit a machine-readable summary instead of the tables")
+		streamMode = fs.Bool("stream", false, "single-pass streaming analysis: one device's log in memory at a time")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,14 +62,18 @@ func run(args []string) error {
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
 	}
+	opts := analysis.Options{
+		SelfShutdownThreshold: *threshold,
+		CoalescenceWindow:     *window,
+	}
+	if *streamMode {
+		return runStream(*dataDir, opts, *asJSON)
+	}
 	ds, err := collect.ImportDir(*dataDir)
 	if err != nil {
 		return err
 	}
-	study := analysis.New(ds.AllRecords(), analysis.Options{
-		SelfShutdownThreshold: *threshold,
-		CoalescenceWindow:     *window,
-	})
+	study := analysis.New(ds.AllRecords(), opts)
 
 	if *asJSON {
 		rep := study.MTBF()
@@ -96,5 +107,53 @@ func run(args []string) error {
 	fmt.Println(report.Figure6(study))
 	fmt.Println(report.Table4(study))
 	fmt.Println(report.Extras(study))
+	return nil
+}
+
+// runStream analyses the exported dataset in one incremental pass: StreamDir
+// reads one device's log at a time into a sorting Feeder feeding the
+// composite Tables accumulator, so peak memory is O(one device + bins)
+// instead of O(dataset). The paper tables print byte-identically to the
+// batch path; the beyond-the-paper extras need the full event set and are
+// batch-only.
+func runStream(dir string, opts analysis.Options, asJSON bool) error {
+	acc := stream.NewTables(opts)
+	f := &stream.Feeder{AddDevice: acc.AddDevice, Observe: acc.Observe}
+	if err := collect.StreamDir(dir, f.Begin, f.Record); err != nil {
+		return err
+	}
+	f.Flush()
+	sn := acc.Tables()
+
+	if asJSON {
+		sum := summary{
+			Devices:        len(sn.Devices),
+			ObservedHours:  sn.MTBF.ObservedHours,
+			Freezes:        sn.MTBF.Freezes,
+			SelfShutdowns:  sn.MTBF.SelfShutdowns,
+			MTBFrHours:     sn.MTBF.MTBFrHours,
+			MTBSHours:      sn.MTBF.MTBSHours,
+			Panics:         sn.Coalescence.TotalPanics,
+			RelatedPercent: sn.Coalescence.RelatedPercent,
+			PanicsInBursts: 100 * sn.Bursts.PanicsInBursts,
+			PanicShares:    make(map[string]float64),
+		}
+		for _, row := range sn.PanicTable {
+			sum.PanicShares[row.Key] = row.Percent
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+
+	fmt.Printf("dataset: %d devices from %s (streamed)\n\n", len(sn.Devices), dir)
+	fmt.Println(report.Figure2FromSnapshot(sn))
+	fmt.Println(report.MTBFFromSnapshot(sn))
+	fmt.Println(report.Table2FromSnapshot(sn))
+	fmt.Println(report.Figure3FromSnapshot(sn))
+	fmt.Println(report.Figure5FromSnapshot(sn))
+	fmt.Println(report.Table3FromSnapshot(sn))
+	fmt.Println(report.Figure6FromSnapshot(sn))
+	fmt.Println(report.Table4FromSnapshot(sn))
 	return nil
 }

@@ -14,7 +14,9 @@ import (
 	"time"
 
 	"symfail"
+	"symfail/internal/analysis/stream"
 	"symfail/internal/collect"
+	"symfail/internal/core"
 	"symfail/internal/phone"
 	"symfail/internal/report"
 )
@@ -38,6 +40,7 @@ func run(args []string) error {
 		quick      = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
 		extras     = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
 		export     = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
+		streamMode = fs.Bool("stream", false, "print live collection progress from the streaming accumulators (and, with -tcp, the server's live record tap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +79,16 @@ func run(args []string) error {
 	fmt.Println(report.Table1(forumRep))
 	fmt.Println(report.Section41(forumRep))
 
+	if *streamMode {
+		cfg.Progress = func(done, total int, p stream.Peek) {
+			fmt.Printf("collected %d/%d devices: %d records, %d panics, %d HL events, %d reboots\n",
+				done, total, p.Records, p.Panics, p.HLEvents, p.Reboots)
+		}
+		if *useTCP {
+			cfg.Monitor = stream.NewMonitor()
+		}
+	}
+
 	fmt.Printf("=== Sections 5-6: field study (%d phones, %d months, seed %d) ===\n\n",
 		cfg.Phones, int(cfg.Duration/phone.StudyMonth), *seed)
 	start := time.Now()
@@ -98,6 +111,11 @@ func run(args []string) error {
 	if sup != nil && *serverKill > 0 {
 		fmt.Printf("collection server: %d injected crashes, %d restarts, %d uploads served, %d WAL compactions — zero acknowledged records lost\n\n",
 			sup.Crashes(), sup.Restarts(), sup.Uploads(), sup.Compactions())
+	}
+	if cfg.Monitor != nil {
+		ms := cfg.Monitor.Snapshot().(*stream.MonitorSnapshot)
+		fmt.Printf("live server tap: %d devices, %d records acknowledged mid-study (%d panics)\n\n",
+			ms.Devices, ms.Records, ms.ByKind[core.KindPanic])
 	}
 
 	s := study.Study

@@ -9,93 +9,52 @@
 // The pipeline consumes only what the logger recorded — the same position
 // the paper's authors were in. The simulator's oracle is used exclusively
 // by tests to validate the pipeline.
+//
+// Since the streaming refactor (DESIGN.md §11) the package is a façade over
+// internal/analysis/stream: Study is built by feeding records through a
+// stream.Collect accumulator (the same per-device cursors the online path
+// uses), and every table method delegates to the stream package's reducers,
+// so the batch and streaming paths share one implementation and produce
+// byte-identical results.
 package analysis
 
 import (
 	"sort"
 	"time"
 
+	"symfail/internal/analysis/stream"
 	"symfail/internal/core"
 	"symfail/internal/sim"
 )
 
 // Options tunes the analysis thresholds, defaulting to the paper's choices.
-type Options struct {
-	// SelfShutdownThreshold separates self-shutdowns (short automatic
-	// reboots) from user-triggered power cycles. The paper picks 360 s
-	// after inspecting Figure 2.
-	SelfShutdownThreshold time.Duration
-	// CoalescenceWindow groups panics with high-level events. The paper
-	// picks five minutes after the window sweep of Figure 4.
-	CoalescenceWindow time.Duration
-	// BurstWindow groups panics into cascades: two panics closer than the
-	// window belong to the same burst.
-	BurstWindow time.Duration
-}
+// It is an alias of stream.Config: batch and streaming runs share one
+// threshold type.
+type Options = stream.Config
 
 // DefaultOptions returns the paper's thresholds.
-func DefaultOptions() Options {
-	return Options{
-		SelfShutdownThreshold: 360 * time.Second,
-		CoalescenceWindow:     5 * time.Minute,
-		BurstWindow:           2 * time.Minute,
-	}
-}
-
-func (o Options) withDefaults() Options {
-	d := DefaultOptions()
-	if o.SelfShutdownThreshold <= 0 {
-		o.SelfShutdownThreshold = d.SelfShutdownThreshold
-	}
-	if o.CoalescenceWindow <= 0 {
-		o.CoalescenceWindow = d.CoalescenceWindow
-	}
-	if o.BurstWindow <= 0 {
-		o.BurstWindow = d.BurstWindow
-	}
-	return o
-}
+func DefaultOptions() Options { return stream.DefaultConfig() }
 
 // HLKind classifies high-level (user-perceived) failure events.
-type HLKind string
+type HLKind = stream.HLKind
 
 // High-level event kinds. UserShutdown is not a failure; it is kept so the
 // "include all shutdown events" robustness check of section 6 can run.
 const (
-	HLFreeze       HLKind = "freeze"
-	HLSelfShutdown HLKind = "self-shutdown"
-	HLUserShutdown HLKind = "user-shutdown"
+	HLFreeze       = stream.HLFreeze
+	HLSelfShutdown = stream.HLSelfShutdown
+	HLUserShutdown = stream.HLUserShutdown
 )
 
 // HLEvent is one reconstructed high-level event.
-type HLEvent struct {
-	Device     string
-	Kind       HLKind
-	Time       sim.Time // when the phone went down (last heartbeat record)
-	OffSeconds float64  // reboot duration observed at the following boot
-}
+type HLEvent = stream.HLEvent
 
 // PanicEvent is one panic record enriched by the pipeline.
-type PanicEvent struct {
-	Device   string
-	Time     sim.Time
-	Category string
-	Type     int
-	Apps     []string
-	Activity string
+type PanicEvent = stream.PanicEvent
 
-	// Burst is the 1-based index of the cascade this panic belongs to
-	// (unique per device); BurstLen is the cascade size.
-	Burst    int
-	BurstLen int
-	// Related points at the coalesced high-level event, nil if isolated.
-	Related *HLEvent
-}
-
-// Key returns the "category type" identity used by the tables.
-func (p *PanicEvent) Key() string {
-	return core.Record{Kind: core.KindPanic, Category: p.Category, PType: p.Type}.PanicKey()
-}
+// MTBFReport is the section 6 headline: mean time between freezes, between
+// self-shutdowns, and between failures of either kind.
+type MTBFReport = stream.MTBFReport
 
 // Study is a parsed, per-device-ordered dataset with derived events.
 type Study struct {
@@ -114,128 +73,50 @@ type Study struct {
 }
 
 // New builds a study from collected per-device records, computing derived
-// events, bursts and coalescence once.
+// events, bursts and coalescence once — by streaming each device's records
+// (time-ordered) through the same cursor pipeline the online path uses.
 func New(dataset map[string][]core.Record, opts Options) *Study {
+	c := stream.NewCollect(opts)
+	ids := make([]string, 0, len(dataset))
+	for id := range dataset {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c.AddDevice(id)
+		ordered := append([]core.Record(nil), dataset[id]...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
+		for _, r := range ordered {
+			c.Observe(id, r)
+		}
+	}
+	return FromCollect(c)
+}
+
+// FromCollect adopts a stream.Collect accumulator's finalized events as a
+// Study, finishing the accumulator first. The events transfer ownership:
+// the sealed accumulator never touches them again.
+func FromCollect(c *stream.Collect) *Study {
+	c.Finish()
 	s := &Study{
-		opts:           opts.withDefaults(),
+		opts:           c.Config(),
 		hlByDevice:     make(map[string][]*HLEvent),
 		panicsByDevice: make(map[string][]*PanicEvent),
 		uptime:         make(map[string]float64),
 	}
-	for id := range dataset {
+	for _, id := range c.Devices() {
 		s.deviceIDs = append(s.deviceIDs, id)
+		if evs := c.PanicsOf(id); len(evs) > 0 {
+			s.panicsByDevice[id] = evs
+		}
+		if hls := c.HLEventsOf(id); len(hls) > 0 {
+			s.hlByDevice[id] = hls
+		}
+		s.uptime[id] = c.UptimeOf(id)
+		s.rebootDurations = append(s.rebootDurations, c.RebootDurationsOf(id)...)
 	}
-	sort.Strings(s.deviceIDs)
-	for _, id := range s.deviceIDs {
-		s.ingest(id, dataset[id])
-	}
-	for _, id := range s.deviceIDs {
-		s.markBursts(id)
-		s.coalesce(id, s.opts.CoalescenceWindow, false)
-	}
+	s.explainedShutdowns = c.ExplainedShutdowns()
 	return s
-}
-
-// ingest derives HL events, panics, reboot durations and uptime from one
-// device's records.
-func (s *Study) ingest(id string, recs []core.Record) {
-	ordered := append([]core.Record(nil), recs...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
-
-	var sessionStart sim.Time = sim.Never
-	var lastSeen sim.Time
-	for _, r := range ordered {
-		if r.Time > int64(lastSeen) {
-			lastSeen = sim.Time(r.Time)
-		}
-		switch r.Kind {
-		case core.KindPanic:
-			s.panicsByDevice[id] = append(s.panicsByDevice[id], &PanicEvent{
-				Device:   id,
-				Time:     r.When(),
-				Category: r.Category,
-				Type:     r.PType,
-				Apps:     r.Apps,
-				Activity: r.Activity,
-			})
-		case core.KindBoot:
-			// Close the previous session for the uptime estimate.
-			if sessionStart != sim.Never && r.PrevTime > int64(sessionStart) {
-				s.uptime[id] += sim.Time(r.PrevTime).Sub(sessionStart).Hours()
-			}
-			sessionStart = r.When()
-			switch r.Detected {
-			case core.DetectedFreeze:
-				s.hlByDevice[id] = append(s.hlByDevice[id], &HLEvent{
-					Device: id, Kind: HLFreeze, Time: sim.Time(r.PrevTime), OffSeconds: r.OffSeconds,
-				})
-			case core.DetectedShutdown:
-				s.rebootDurations = append(s.rebootDurations, r.OffSeconds)
-				kind := HLUserShutdown
-				if r.OffSeconds <= s.opts.SelfShutdownThreshold.Seconds() {
-					kind = HLSelfShutdown
-				}
-				s.hlByDevice[id] = append(s.hlByDevice[id], &HLEvent{
-					Device: id, Kind: kind, Time: sim.Time(r.PrevTime), OffSeconds: r.OffSeconds,
-				})
-			case core.DetectedLowBattery, core.DetectedLoggerOff:
-				s.explainedShutdowns++
-			}
-		}
-	}
-	// The final session runs until the last record seen.
-	if sessionStart != sim.Never && lastSeen > sessionStart {
-		s.uptime[id] += lastSeen.Sub(sessionStart).Hours()
-	}
-	sort.SliceStable(s.hlByDevice[id], func(i, j int) bool {
-		return s.hlByDevice[id][i].Time < s.hlByDevice[id][j].Time
-	})
-}
-
-// markBursts groups each device's panics into cascades: consecutive panics
-// closer than the burst window share a burst.
-func (s *Study) markBursts(id string) {
-	panics := s.panicsByDevice[id]
-	burst := 0
-	for i := range panics {
-		if i == 0 || panics[i].Time.Sub(panics[i-1].Time) > s.opts.BurstWindow {
-			burst++
-		}
-		panics[i].Burst = burst
-	}
-	sizes := make(map[int]int)
-	for _, p := range panics {
-		sizes[p.Burst]++
-	}
-	for _, p := range panics {
-		p.BurstLen = sizes[p.Burst]
-	}
-}
-
-// coalesce relates each panic to the nearest high-level event within the
-// window (Figure 4's scheme). With includeUser true, user shutdowns count
-// as high-level events too — the robustness check of section 6.
-func (s *Study) coalesce(id string, window time.Duration, includeUser bool) {
-	hls := s.hlByDevice[id]
-	for _, p := range s.panicsByDevice[id] {
-		p.Related = nil
-		var best *HLEvent
-		var bestGap time.Duration
-		for _, hl := range hls {
-			if hl.Kind == HLUserShutdown && !includeUser {
-				continue
-			}
-			gap := hl.Time.Sub(p.Time)
-			if gap < 0 {
-				gap = -gap
-			}
-			if gap <= window && (best == nil || gap < bestGap) {
-				best = hl
-				bestGap = gap
-			}
-		}
-		p.Related = best
-	}
 }
 
 // Devices returns the device IDs in the study.
@@ -244,8 +125,10 @@ func (s *Study) Devices() []string { return append([]string(nil), s.deviceIDs...
 // Options returns the thresholds in use.
 func (s *Study) Options() Options { return s.opts }
 
-// Panics returns every panic event, ordered by device then time.
-func (s *Study) Panics() []*PanicEvent {
+// allPanics returns the internal panic events (shared pointers), ordered by
+// device then time. Internal use only: mutating them would corrupt the
+// study's coalescence state.
+func (s *Study) allPanics() []*PanicEvent {
 	var out []*PanicEvent
 	for _, id := range s.deviceIDs {
 		out = append(out, s.panicsByDevice[id]...)
@@ -253,9 +136,10 @@ func (s *Study) Panics() []*PanicEvent {
 	return out
 }
 
-// HLEvents returns every high-level event of the given kinds (all kinds
-// when none specified), ordered by device then time.
-func (s *Study) HLEvents(kinds ...HLKind) []*HLEvent {
+// allHLs returns the internal high-level events of the given kinds (all
+// kinds when none specified), ordered by device then time. Shared pointers;
+// internal use only.
+func (s *Study) allHLs(kinds ...HLKind) []*HLEvent {
 	want := make(map[HLKind]bool, len(kinds))
 	for _, k := range kinds {
 		want[k] = true
@@ -267,6 +151,54 @@ func (s *Study) HLEvents(kinds ...HLKind) []*HLEvent {
 				out = append(out, hl)
 			}
 		}
+	}
+	return out
+}
+
+// hlCopies deep-copies every high-level event, returning the copy map so
+// panic copies can re-point their Related fields consistently.
+func (s *Study) hlCopies() map[*HLEvent]*HLEvent {
+	copies := make(map[*HLEvent]*HLEvent)
+	for _, id := range s.deviceIDs {
+		for _, hl := range s.hlByDevice[id] {
+			cp := *hl
+			copies[hl] = &cp
+		}
+	}
+	return copies
+}
+
+// Panics returns every panic event, ordered by device then time.
+//
+// The events are deep copies: the study's internal coalescence state cannot
+// be mutated through them, and pointer identity is not preserved across
+// calls (a panic's Related points at a copy consistent within this call's
+// result, not at an event returned by HLEvents).
+func (s *Study) Panics() []*PanicEvent {
+	copies := s.hlCopies()
+	var out []*PanicEvent
+	for _, id := range s.deviceIDs {
+		for _, p := range s.panicsByDevice[id] {
+			cp := *p
+			cp.Apps = append([]string(nil), p.Apps...)
+			if p.Related != nil {
+				cp.Related = copies[p.Related]
+			}
+			out = append(out, &cp)
+		}
+	}
+	return out
+}
+
+// HLEvents returns every high-level event of the given kinds (all kinds
+// when none specified), ordered by device then time.
+//
+// The events are deep copies; see Panics.
+func (s *Study) HLEvents(kinds ...HLKind) []*HLEvent {
+	var out []*HLEvent
+	for _, hl := range s.allHLs(kinds...) {
+		cp := *hl
+		out = append(out, &cp)
 	}
 	return out
 }
@@ -302,38 +234,15 @@ func (s *Study) UptimeHours() (perDevice map[string]float64, total float64) {
 	return perDevice, total
 }
 
-// MTBFReport is the section 6 headline: mean time between freezes, between
-// self-shutdowns, and between failures of either kind.
-type MTBFReport struct {
-	ObservedHours float64
-	Freezes       int
-	SelfShutdowns int
-	MTBFrHours    float64 // mean time between freezes
-	MTBSHours     float64 // mean time between self-shutdowns
-	MTBFHours     float64 // mean time between failures (either)
-	// FailureEveryDays is the user-facing phrasing ("a failure every 11
-	// days"), computed the way the paper phrases it: the average of the
-	// per-kind inter-failure times, in days.
-	FailureEveryDays float64
-}
-
 // MTBF computes the study's failure-rate headline.
 func (s *Study) MTBF() MTBFReport {
 	_, hours := s.UptimeHours()
-	freezes := len(s.HLEvents(HLFreeze))
-	shutdowns := len(s.HLEvents(HLSelfShutdown))
-	rep := MTBFReport{ObservedHours: hours, Freezes: freezes, SelfShutdowns: shutdowns}
-	if freezes > 0 {
-		rep.MTBFrHours = hours / float64(freezes)
+	return stream.MTBFOf(hours, len(s.allHLs(HLFreeze)), len(s.allHLs(HLSelfShutdown)))
+}
+
+// coalesceAll re-runs coalescence over every device at the given window.
+func (s *Study) coalesceAll(window time.Duration, includeUser bool) {
+	for _, id := range s.deviceIDs {
+		stream.CoalesceAt(s.panicsByDevice[id], s.hlByDevice[id], window, includeUser)
 	}
-	if shutdowns > 0 {
-		rep.MTBSHours = hours / float64(shutdowns)
-	}
-	if freezes+shutdowns > 0 {
-		rep.MTBFHours = hours / float64(freezes+shutdowns)
-	}
-	if rep.MTBFrHours > 0 && rep.MTBSHours > 0 {
-		rep.FailureEveryDays = (rep.MTBFrHours + rep.MTBSHours) / 2 / 24
-	}
-	return rep
 }

@@ -27,7 +27,7 @@ type FreezeDowntime struct {
 // FreezeDowntimes computes the freeze outage distribution.
 func (s *Study) FreezeDowntimes() FreezeDowntime {
 	var xs []float64
-	for _, hl := range s.HLEvents(HLFreeze) {
+	for _, hl := range s.allHLs(HLFreeze) {
 		xs = append(xs, hl.OffSeconds)
 	}
 	out := FreezeDowntime{Count: len(xs)}
@@ -61,7 +61,7 @@ type LeadTime struct {
 // related panics.
 func (s *Study) PanicLeadTimes() LeadTime {
 	var xs []float64
-	for _, p := range s.Panics() {
+	for _, p := range s.allPanics() {
 		if p.Related == nil {
 			continue
 		}
@@ -278,7 +278,7 @@ type Seasonality struct {
 func (s *Study) FailureSeasonality() Seasonality {
 	var out Seasonality
 	days := make(map[int]bool)
-	for _, hl := range s.HLEvents(HLFreeze, HLSelfShutdown) {
+	for _, hl := range s.allHLs(HLFreeze, HLSelfShutdown) {
 		hour := int(hl.Time.TimeOfDay().Hours())
 		if hour < 0 {
 			hour = 0

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPanicsHLEventsNoAliasing is the regression test for the shared-pointer
+// leak: Panics and HLEvents used to hand out the study's internal event
+// pointers, so callers mutating a result (reports, experiments) silently
+// corrupted every later table. The accessors must return deep copies.
+func TestPanicsHLEventsNoAliasing(t *testing.T) {
+	s := New(randomDataset(1), Options{})
+	before, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vandalise everything the accessors return.
+	for _, p := range s.Panics() {
+		p.Category = "CORRUPTED"
+		p.Type = -1
+		p.Time = -1
+		p.Activity = "corrupted"
+		p.Burst = -1
+		p.BurstLen = -1
+		if len(p.Apps) > 0 {
+			p.Apps[0] = "corrupted"
+		}
+		if p.Related != nil {
+			p.Related.Kind = HLKind("corrupted")
+			p.Related.Time = -1
+			p.Related.OffSeconds = -1
+		}
+	}
+	for _, hl := range s.HLEvents() {
+		hl.Kind = HLKind("corrupted")
+		hl.Time = -1
+		hl.OffSeconds = -1
+		hl.Device = "corrupted"
+	}
+
+	// A fresh study over the same dataset is the ground truth; the
+	// vandalised study must still produce identical tables.
+	after, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("mutating Panics/HLEvents results changed the study's tables:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// TestPanicsRelatedConsistentWithinCall: within one Panics() result, two
+// panics coalesced to the same high-level event share one Related pointer,
+// so callers can still group panics by event identity.
+func TestPanicsRelatedConsistentWithinCall(t *testing.T) {
+	// Scan seeds until one produces two panics sharing a related event.
+	for seed := uint64(0); seed < 50; seed++ {
+		s := New(randomDataset(seed), Options{})
+		byInternal := make(map[*HLEvent][]*PanicEvent)
+		panics := s.Panics()
+		internal := s.allPanics()
+		if len(panics) != len(internal) {
+			t.Fatalf("seed %d: Panics() returned %d events, internally %d", seed, len(panics), len(internal))
+		}
+		for i, p := range panics {
+			if (p.Related == nil) != (internal[i].Related == nil) {
+				t.Fatalf("seed %d: panic %d Related nilness differs from internal", seed, i)
+			}
+			if p.Related == nil {
+				continue
+			}
+			if p.Related == internal[i].Related {
+				t.Fatalf("seed %d: panic %d Related aliases the internal event", seed, i)
+			}
+			byInternal[internal[i].Related] = append(byInternal[internal[i].Related], p)
+		}
+		for hl, group := range byInternal {
+			for _, p := range group[1:] {
+				if p.Related != group[0].Related {
+					t.Errorf("seed %d: panics coalesced to the same internal event %v have distinct Related copies", seed, hl)
+				}
+			}
+		}
+	}
+}

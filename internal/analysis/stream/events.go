@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"time"
+
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+// HLKind classifies high-level (user-perceived) failure events.
+type HLKind string
+
+// High-level event kinds. UserShutdown is not a failure; it is kept so the
+// "include all shutdown events" robustness check of section 6 can run.
+const (
+	HLFreeze       HLKind = "freeze"
+	HLSelfShutdown HLKind = "self-shutdown"
+	HLUserShutdown HLKind = "user-shutdown"
+)
+
+// HLEvent is one reconstructed high-level event.
+type HLEvent struct {
+	Device     string
+	Kind       HLKind
+	Time       sim.Time // when the phone went down (last heartbeat record)
+	OffSeconds float64  // reboot duration observed at the following boot
+
+	// refd is set by the device cursor when a finalized panic coalesces
+	// with this event, so the streaming CoalescenceAcc can count isolated
+	// HL events without holding every panic pointer. The batch Study does
+	// not use it (it recomputes relations from Related pointers).
+	refd bool
+}
+
+// PanicEvent is one panic record enriched by the pipeline.
+type PanicEvent struct {
+	Device   string
+	Time     sim.Time
+	Category string
+	Type     int
+	Apps     []string
+	Activity string
+
+	// Burst is the 1-based index of the cascade this panic belongs to
+	// (unique per device); BurstLen is the cascade size.
+	Burst    int
+	BurstLen int
+	// Related points at the coalesced high-level event, nil if isolated.
+	Related *HLEvent
+}
+
+// Key returns the "category type" identity used by the tables.
+func (p *PanicEvent) Key() string {
+	return core.Record{Kind: core.KindPanic, Category: p.Category, PType: p.Type}.PanicKey()
+}
+
+// CoalesceAt relates each panic to the nearest high-level event within the
+// window (Figure 4's scheme), overwriting Related. With includeUser true,
+// user shutdowns count as high-level events too — the robustness check of
+// section 6. The device cursor reproduces exactly this relation online; the
+// batch Study calls it directly for window sweeps and restores.
+func CoalesceAt(panics []*PanicEvent, hls []*HLEvent, window time.Duration, includeUser bool) {
+	for _, p := range panics {
+		p.Related = nil
+		var best *HLEvent
+		var bestGap time.Duration
+		for _, hl := range hls {
+			if hl.Kind == HLUserShutdown && !includeUser {
+				continue
+			}
+			gap := hl.Time.Sub(p.Time)
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= window && (best == nil || gap < bestGap) {
+				best = hl
+				bestGap = gap
+			}
+		}
+		p.Related = best
+	}
+}

@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"sort"
+
+	"symfail/internal/core"
+)
+
+// Feeder adapts a per-device record stream (collect.Dataset.Stream,
+// collect.StreamDir) to an accumulator's AddDevice/Observe, buffering one
+// device's records and stable-sorting them by timestamp before observing —
+// the cursor input contract, and exactly the per-device ordering analysis.New
+// applies — with O(one device's records) memory. Pass Begin and Record as
+// the stream callbacks and call Flush once after the stream ends.
+type Feeder struct {
+	// AddDevice registers a device before its records are observed (may be
+	// nil for accumulators without zero-record device tracking).
+	AddDevice func(deviceID string)
+	// Observe folds one record into the accumulator.
+	Observe func(deviceID string, r core.Record)
+
+	cur string
+	buf []core.Record
+}
+
+// Begin flushes the previous device and registers the next one.
+func (f *Feeder) Begin(id string) error {
+	f.Flush()
+	if f.AddDevice != nil {
+		f.AddDevice(id)
+	}
+	f.cur = id
+	return nil
+}
+
+// Record buffers one record of the current device.
+func (f *Feeder) Record(_ string, r core.Record) error {
+	f.buf = append(f.buf, r)
+	return nil
+}
+
+// Flush sorts and observes the buffered device's records. Idempotent; must
+// be called once after the last record so the final device is observed.
+func (f *Feeder) Flush() {
+	sort.SliceStable(f.buf, func(i, j int) bool { return f.buf[i].Time < f.buf[j].Time })
+	for _, r := range f.buf {
+		f.Observe(f.cur, r)
+	}
+	f.buf = f.buf[:0]
+}

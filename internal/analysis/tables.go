@@ -4,8 +4,12 @@ import (
 	"sort"
 	"time"
 
-	"symfail/internal/symbos"
+	"symfail/internal/analysis/stream"
 )
+
+// Every table method in this file delegates to the reducers in
+// internal/analysis/stream — the same code the streaming accumulators run —
+// so the batch and streaming paths cannot drift apart.
 
 // KnownPanicKeys is the closed panic taxonomy of the study: every
 // "Category Type" pair from Table 2 of the paper, i.e. every panic the
@@ -43,7 +47,7 @@ var KnownPanicKeys = map[string]bool{
 // dynamic counterpart of the static symlint check.
 func (s *Study) UnclassifiedPanicKeys() []string {
 	seen := make(map[string]bool)
-	for _, p := range s.Panics() {
+	for _, p := range s.allPanics() {
 		if key := p.Key(); !KnownPanicKeys[key] && !seen[key] {
 			seen[key] = true
 		}
@@ -57,147 +61,38 @@ func (s *Study) UnclassifiedPanicKeys() []string {
 }
 
 // PanicRow is one row of the Table 2 reproduction.
-type PanicRow struct {
-	Key     string
-	Count   int
-	Percent float64
-	Meaning string
-}
+type PanicRow = stream.PanicRow
 
 // PanicTable reproduces Table 2: panic category/type frequencies with the
 // Symbian documentation excerpts.
 func (s *Study) PanicTable() []PanicRow {
-	counts := make(map[string]int)
-	cats := make(map[string]*PanicEvent)
-	total := 0
-	for _, p := range s.Panics() {
-		counts[p.Key()]++
-		cats[p.Key()] = p
-		total++
-	}
-	rows := make([]PanicRow, 0, len(counts))
-	for key, c := range counts {
-		p := cats[key]
-		rows = append(rows, PanicRow{
-			Key:     key,
-			Count:   c,
-			Percent: 100 * float64(c) / float64(total),
-			Meaning: symbos.Meaning(symbos.Category(p.Category), p.Type),
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Count != rows[j].Count {
-			return rows[i].Count > rows[j].Count
-		}
-		return rows[i].Key < rows[j].Key
-	})
-	return rows
+	return stream.PanicTableRows(s.allPanics())
 }
 
 // CategoryShare sums the percentage of panics whose category matches
 // (e.g. "E32USER-CBase" across all its types).
 func (s *Study) CategoryShare(category string) float64 {
-	var n, total int
-	for _, p := range s.Panics() {
-		total++
-		if p.Category == category {
-			n++
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return 100 * float64(n) / float64(total)
+	return stream.CategoryShareOf(s.allPanics(), category)
 }
 
 // BurstStats reproduces Figure 3: the distribution of panic cascade sizes.
-type BurstStats struct {
-	// SizeCounts maps cascade size -> number of cascades of that size.
-	SizeCounts map[int]int
-	// PanicsInBursts is the fraction of panics that belong to a cascade
-	// of two or more (the paper reports ~25%).
-	PanicsInBursts float64
-	// TotalPanics and TotalBursts are the denominators.
-	TotalPanics, TotalBursts int
-}
+type BurstStats = stream.BurstStats
 
 // Bursts computes the cascade statistics.
 func (s *Study) Bursts() BurstStats {
-	st := BurstStats{SizeCounts: make(map[int]int)}
-	for _, id := range s.deviceIDs {
-		seen := make(map[int]bool)
-		for _, p := range s.panicsByDevice[id] {
-			st.TotalPanics++
-			if p.BurstLen >= 2 {
-				st.PanicsInBursts++
-			}
-			if !seen[p.Burst] {
-				seen[p.Burst] = true
-				st.SizeCounts[p.BurstLen]++
-				st.TotalBursts++
-			}
-		}
-	}
-	if st.TotalPanics > 0 {
-		st.PanicsInBursts /= float64(st.TotalPanics)
-	}
-	return st
+	return stream.BurstStatsOf(s.deviceIDs, s.panicsByDevice)
 }
 
 // CoalescenceStats reproduces Figure 5: how panics relate to high-level
 // events.
-type CoalescenceStats struct {
-	TotalPanics    int
-	RelatedPanics  int     // coalesced with a freeze or self-shutdown
-	RelatedPercent float64 // the paper reports 51%
-	// ToFreeze/ToSelfShutdown split the related panics by HL kind.
-	ToFreeze, ToSelfShutdown int
-	// ByCategory maps panic key -> (related, total) counts, the basis of
-	// Figure 5b.
-	ByCategory map[string]RelatedCount
-	// IsolatedHL counts high-level events with no panic in the window —
-	// failures the panic stream cannot explain.
-	IsolatedHL int
-}
+type CoalescenceStats = stream.CoalescenceStats
 
 // RelatedCount pairs related and total panic counts for one panic key.
-type RelatedCount struct {
-	Related, Total           int
-	ToFreeze, ToSelfShutdown int
-}
+type RelatedCount = stream.RelatedCount
 
 // Coalesce computes panic/HL-event relations at the configured window.
 func (s *Study) Coalesce() CoalescenceStats {
-	st := CoalescenceStats{ByCategory: make(map[string]RelatedCount)}
-	relatedHL := make(map[*HLEvent]bool)
-	for _, p := range s.Panics() {
-		st.TotalPanics++
-		rc := st.ByCategory[p.Key()]
-		rc.Total++
-		if p.Related != nil {
-			st.RelatedPanics++
-			rc.Related++
-			relatedHL[p.Related] = true
-			switch p.Related.Kind {
-			case HLFreeze:
-				st.ToFreeze++
-				rc.ToFreeze++
-			case HLSelfShutdown:
-				st.ToSelfShutdown++
-				rc.ToSelfShutdown++
-			}
-		}
-		st.ByCategory[p.Key()] = rc
-	}
-	for _, hl := range s.HLEvents(HLFreeze, HLSelfShutdown) {
-		if !relatedHL[hl] {
-			st.IsolatedHL++
-		}
-	}
-	if st.TotalPanics > 0 {
-		st.RelatedPercent = 100 * float64(st.RelatedPanics) / float64(st.TotalPanics)
-	}
-	return st
+	return stream.CoalescenceStatsOf(s.allPanics(), s.allHLs(HLFreeze, HLSelfShutdown))
 }
 
 // RelatedPercentWithAllShutdowns re-runs coalescence counting user
@@ -205,20 +100,16 @@ func (s *Study) Coalesce() CoalescenceStats {
 // related share rises only ~4 points, confirming that the filtered events
 // were user-triggered.
 func (s *Study) RelatedPercentWithAllShutdowns() float64 {
-	for _, id := range s.deviceIDs {
-		s.coalesce(id, s.opts.CoalescenceWindow, true)
-	}
+	s.coalesceAll(s.opts.CoalescenceWindow, true)
 	related, total := 0, 0
-	for _, p := range s.Panics() {
+	for _, p := range s.allPanics() {
 		total++
 		if p.Related != nil {
 			related++
 		}
 	}
 	// Restore the standard coalescence.
-	for _, id := range s.deviceIDs {
-		s.coalesce(id, s.opts.CoalescenceWindow, false)
-	}
+	s.coalesceAll(s.opts.CoalescenceWindow, false)
 	if total == 0 {
 		return 0
 	}
@@ -237,188 +128,98 @@ type WindowSweepPoint struct {
 func (s *Study) WindowSweep(windows []time.Duration) []WindowSweepPoint {
 	out := make([]WindowSweepPoint, 0, len(windows))
 	for _, w := range windows {
-		for _, id := range s.deviceIDs {
-			s.coalesce(id, w, false)
-		}
+		s.coalesceAll(w, false)
 		related := 0
-		for _, p := range s.Panics() {
+		for _, p := range s.allPanics() {
 			if p.Related != nil {
 				related++
 			}
 		}
 		out = append(out, WindowSweepPoint{Window: w, Related: related})
 	}
-	for _, id := range s.deviceIDs {
-		s.coalesce(id, s.opts.CoalescenceWindow, false)
-	}
+	s.coalesceAll(s.opts.CoalescenceWindow, false)
 	return out
 }
 
 // ActivityRow is one row of the Table 3 reproduction: HL-related panics by
 // user activity.
-type ActivityRow struct {
-	Activity string
-	// ByCategory maps panic category -> percent of all HL-related panics.
-	ByCategory map[string]float64
-	Total      float64
-}
+type ActivityRow = stream.ActivityRow
 
 // ActivityTable reproduces Table 3: the user activity at the time of
 // HL-related panics. Percentages are of the total number of related panics.
 func (s *Study) ActivityTable() []ActivityRow {
-	counts := make(map[string]map[string]int)
-	total := 0
-	for _, p := range s.Panics() {
-		if p.Related == nil {
-			continue
-		}
-		total++
-		act := p.Activity
-		if act == "" {
-			act = "unspecified"
-		}
-		if counts[act] == nil {
-			counts[act] = make(map[string]int)
-		}
-		counts[act][p.Category]++
-	}
-	activities := make([]string, 0, len(counts))
-	for act := range counts {
-		activities = append(activities, act)
-	}
-	sort.Strings(activities)
-	rows := make([]ActivityRow, 0, len(activities))
-	for _, act := range activities {
-		row := ActivityRow{Activity: act, ByCategory: make(map[string]float64)}
-		for cat, n := range counts[act] {
-			pct := 100 * float64(n) / float64(total)
-			row.ByCategory[cat] = pct
-			row.Total += pct
-		}
-		rows = append(rows, row)
-	}
-	return rows
+	return stream.ActivityRowsOf(s.allPanics())
 }
 
 // RealTimeActivityShare returns the percentage of HL-related panics that
 // occurred during a voice call or message — the paper reports ~45%.
 func (s *Study) RealTimeActivityShare() float64 {
-	related, rt := 0, 0
-	for _, p := range s.Panics() {
-		if p.Related == nil {
-			continue
-		}
-		related++
-		if p.Activity == "voice-call" || p.Activity == "message" {
-			rt++
-		}
-	}
-	if related == 0 {
-		return 0
-	}
-	return 100 * float64(rt) / float64(related)
+	return stream.RealTimeShareOf(s.allPanics())
 }
 
 // RunningAppsHistogram reproduces Figure 6: the number of running
 // applications at panic time.
 func (s *Study) RunningAppsHistogram(maxApps int) map[int]int {
-	out := make(map[int]int)
-	for _, p := range s.Panics() {
-		n := len(p.Apps)
-		if n > maxApps {
-			n = maxApps
-		}
-		out[n]++
-	}
-	return out
+	return stream.RunningAppsHistogramOf(s.allPanics(), maxApps)
 }
 
 // AppPanicRow is one row of the Table 4 reproduction: for an outcome
 // (freeze / self-shutdown / none) and panic category, the percentage of
 // panics that had each application running.
-type AppPanicRow struct {
-	Outcome  string // "freeze", "self-shutdown", or "none"
-	Category string
-	// ByApp maps application name -> percent of all panics.
-	ByApp map[string]float64
-}
+type AppPanicRow = stream.AppPanicRow
 
 // AppPanicTable reproduces Table 4: the panic/running-application
 // relationship, split by high-level outcome.
 func (s *Study) AppPanicTable() []AppPanicRow {
-	type cell struct{ outcome, cat, app string }
-	counts := make(map[cell]int)
-	total := 0
-	for _, p := range s.Panics() {
-		total++
-		outcome := "none"
-		if p.Related != nil {
-			outcome = string(p.Related.Kind)
-		}
-		for _, app := range p.Apps {
-			counts[cell{outcome, p.Category, app}]++
-		}
-	}
-	if total == 0 {
-		return nil
-	}
-	grouped := make(map[string]map[string]float64)
-	for c, n := range counts {
-		key := c.outcome + "\x00" + c.cat
-		if grouped[key] == nil {
-			grouped[key] = make(map[string]float64)
-		}
-		grouped[key][c.app] = 100 * float64(n) / float64(total)
-	}
-	keys := make([]string, 0, len(grouped))
-	for k := range grouped {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	rows := make([]AppPanicRow, 0, len(keys))
-	for _, k := range keys {
-		var outcome, cat string
-		for i := 0; i < len(k); i++ {
-			if k[i] == 0 {
-				outcome, cat = k[:i], k[i+1:]
-				break
-			}
-		}
-		rows = append(rows, AppPanicRow{Outcome: outcome, Category: cat, ByApp: grouped[k]})
-	}
-	return rows
+	return stream.AppPanicTableOf(s.allPanics())
 }
+
+// AppShare pairs an application with its share of panics.
+type AppShare = stream.AppShare
 
 // TopPanicApps returns the applications most frequently running at panic
 // time, as (app, share-percent) pairs sorted descending — the paper singles
 // out Messages, Camera, the Bluetooth browser and the call Log.
 func (s *Study) TopPanicApps(n int) []AppShare {
-	counts := make(map[string]int)
-	total := 0
-	for _, p := range s.Panics() {
-		total++
-		for _, app := range p.Apps {
-			counts[app]++
-		}
-	}
-	shares := make([]AppShare, 0, len(counts))
-	for app, c := range counts {
-		shares = append(shares, AppShare{App: app, Percent: 100 * float64(c) / float64(total)})
-	}
-	sort.Slice(shares, func(i, j int) bool {
-		if shares[i].Percent != shares[j].Percent {
-			return shares[i].Percent > shares[j].Percent
-		}
-		return shares[i].App < shares[j].App
-	})
-	if n > 0 && len(shares) > n {
-		shares = shares[:n]
-	}
-	return shares
+	return stream.TopPanicAppsOf(s.allPanics(), n)
 }
 
-// AppShare pairs an application with its share of panics.
-type AppShare struct {
-	App     string
-	Percent float64
+// Snapshot computes the full streaming table set from the batch study —
+// the byte-identity bridge the equivalence tests compare against a
+// stream.Tables snapshot of the same records.
+func (s *Study) Snapshot() *stream.TablesSnapshot {
+	_, hours := s.UptimeHours()
+	return &stream.TablesSnapshot{
+		Config:                     s.opts,
+		Devices:                    s.Devices(),
+		RebootDurations:            s.RebootDurations(),
+		ExplainedShutdowns:         s.explainedShutdowns,
+		UserShutdowns:              len(s.allHLs(HLUserShutdown)),
+		MTBF:                       stream.MTBFOf(hours, len(s.allHLs(HLFreeze)), len(s.allHLs(HLSelfShutdown))),
+		PanicTable:                 s.PanicTable(),
+		CategoryShare:              s.categoryShares(),
+		Bursts:                     s.Bursts(),
+		Coalescence:                s.Coalesce(),
+		RelatedPercentAllShutdowns: s.RelatedPercentWithAllShutdowns(),
+		Activity:                   s.ActivityTable(),
+		RealTimeActivitySharePct:   s.RealTimeActivityShare(),
+		RunningApps:                s.RunningAppsHistogram(stream.RunningAppsCap),
+		AppTable:                   s.AppPanicTable(),
+		TopApps:                    s.TopPanicApps(0),
+	}
+}
+
+// categoryShares mirrors the streaming panic reducer's per-category shares.
+func (s *Study) categoryShares() map[string]float64 {
+	counts := make(map[string]int)
+	total := 0
+	for _, p := range s.allPanics() {
+		counts[p.Category]++
+		total++
+	}
+	out := make(map[string]float64, len(counts))
+	for cat, n := range counts {
+		out[cat] = 100 * float64(n) / float64(total)
+	}
+	return out
 }

@@ -131,6 +131,37 @@ func (ds *Dataset) AllRecords() map[string][]core.Record {
 	return out
 }
 
+// Stream iterates the dataset one device at a time in sorted device order,
+// calling begin once per device and then fn once per record in log order —
+// the bounded-memory alternative to AllRecords: only one device's log bytes
+// are materialised at a time and no record slice is ever built. Either
+// callback may be nil. An error from a callback stops the iteration and is
+// returned. The device set is snapshotted up front; concurrent Puts for new
+// devices are not picked up mid-stream.
+func (ds *Dataset) Stream(begin func(deviceID string) error, fn func(deviceID string, r core.Record) error) error {
+	for _, id := range ds.Devices() {
+		if begin != nil {
+			if err := begin(id); err != nil {
+				return err
+			}
+		}
+		if fn == nil {
+			continue
+		}
+		data, ok := ds.Get(id)
+		if !ok {
+			continue
+		}
+		deviceID := id
+		if err := core.ScanRecords(data, func(r core.Record) error {
+			return fn(deviceID, r)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MaxHeaderBytes caps the protocol header line; a client that streams an
 // unterminated header cannot make the server buffer unboundedly.
 const MaxHeaderBytes = 256
@@ -153,6 +184,17 @@ type ServerConfig struct {
 	// CompactEvery triggers snapshot compaction once the WAL exceeds this
 	// many bytes (zero means 1 MiB). Only meaningful with a Store.
 	CompactEvery int
+
+	// OnRecord, when set, is called for every record the server newly
+	// acknowledges — the live tap the streaming accumulators hang off.
+	// It runs under the server mutex, so it must be fast and must not call
+	// back into the server. Delivery is at-least-once, not exactly-once:
+	// a supervisor-restarted incarnation starts with an empty acked ledger,
+	// so records re-sent after a crash fire again. Consumers must therefore
+	// be order- and duplicate-tolerant (stream.Monitor is; the exact
+	// analysis accumulators are not — they re-read the merged Dataset at
+	// study end instead).
+	OnRecord func(deviceID string, r core.Record)
 
 	// monitor is the supervisor hook: it schedules injected crashes and is
 	// told when this incarnation dies. Only the Supervisor sets it.
@@ -560,7 +602,8 @@ func (s *Server) crashAtLocked(p Crashpoint) bool {
 	return true
 }
 
-// recordAckedLocked notes every record in data as acknowledged. Caller
+// recordAckedLocked notes every record in data as acknowledged, firing the
+// OnRecord tap for records this incarnation had not acked before. Caller
 // holds s.mu.
 func (s *Server) recordAckedLocked(id string, data []byte) {
 	keys := s.ackedKeys[id]
@@ -569,7 +612,14 @@ func (s *Server) recordAckedLocked(id string, data []byte) {
 		s.ackedKeys[id] = keys
 	}
 	for _, rec := range core.ParseRecords(data) {
-		keys[string(core.EncodeRecord(rec))] = true
+		k := string(core.EncodeRecord(rec))
+		if keys[k] {
+			continue
+		}
+		keys[k] = true
+		if s.cfg.OnRecord != nil {
+			s.cfg.OnRecord(id, rec)
+		}
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"symfail/internal/core"
 )
 
 // Export/import of collected datasets to the host filesystem, so a study
@@ -87,6 +89,58 @@ func ImportDir(dir string) (*Dataset, error) {
 		ds.Put(id, data)
 	}
 	return ds, nil
+}
+
+// StreamDir iterates a dataset exported by ExportDir without loading it
+// whole: devices are visited in sorted manifest order, begin is called once
+// per device, then fn once per record in log order, with only one device's
+// log bytes in memory at a time — this is how cmd/analyze -stream feeds the
+// accumulators. Either callback may be nil. Missing files and size
+// mismatches are errors, exactly as in ImportDir; a callback error stops
+// the iteration and is returned.
+func StreamDir(dir string, begin func(deviceID string) error, fn func(deviceID string, r core.Record) error) error {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("collect: stream: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return fmt.Errorf("collect: stream manifest: %w", err)
+	}
+	ids := make([]string, 0, len(m.Devices))
+	for id := range m.Devices {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		name, err := deviceFileName(id)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("collect: stream %s: %w", id, err)
+		}
+		if len(data) != m.Devices[id] {
+			return fmt.Errorf("collect: stream %s: size %d, manifest says %d (truncated?)",
+				id, len(data), m.Devices[id])
+		}
+		if begin != nil {
+			if err := begin(id); err != nil {
+				return err
+			}
+		}
+		if fn == nil {
+			continue
+		}
+		deviceID := id
+		if err := core.ScanRecords(data, func(r core.Record) error {
+			return fn(deviceID, r)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // deviceFileName maps a device id to its on-disk name, rejecting ids that

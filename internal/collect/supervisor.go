@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"symfail/internal/core"
 	"symfail/internal/sim"
 )
 
@@ -88,6 +89,12 @@ type SupervisorConfig struct {
 	// Store, when set, resumes an existing medium (a prior supervisor's
 	// state); nil creates a fresh one.
 	Store *CrashStore
+	// OnRecord passes through to ServerConfig.OnRecord for every
+	// incarnation, restarts included. See the delivery caveats there: with
+	// crash injection a restarted server's acked ledger starts empty, so
+	// re-sent records fire the tap again — consumers must be order- and
+	// duplicate-tolerant.
+	OnRecord func(deviceID string, r core.Record)
 }
 
 // Supervisor owns a durable collection server across injected crashes: it
@@ -150,6 +157,7 @@ func NewSupervisor(addr string, ds *Dataset, cfg SupervisorConfig) (*Supervisor,
 		MaxStreamBytes: cfg.MaxStreamBytes,
 		CompactEvery:   cfg.CompactEvery,
 		Store:          sup.store,
+		OnRecord:       cfg.OnRecord,
 		monitor:        sup,
 	}
 	srv, err := NewServerWith(addr, ds, sup.scfg)

@@ -139,17 +139,39 @@ func EncodeRecord(r Record) []byte {
 // can be cut short by power loss, and a log analyser must survive that.
 func ParseRecords(data []byte) []Record {
 	var out []Record
+	_ = ScanRecords(data, func(r Record) error {
+		out = append(out, r)
+		return nil
+	})
+	return out
+}
+
+// ScanRecords parses a Log File incrementally, calling fn once per record
+// in log order without materialising the record slice — the streaming
+// analysis path reads whole exported datasets this way with one device's
+// log in memory at a time. Skip semantics are identical to ParseRecords
+// (which is built on it): corrupt frames, blank lines and unparsable JSON
+// lines are dropped. An error from fn stops the scan and is returned.
+func ScanRecords(data []byte, fn func(Record) error) error {
 	if len(data) > 0 && data[0] == FrameMagic {
 		for _, payload := range RecoverLog(data).Payloads {
 			var r Record
 			if err := json.Unmarshal(payload, &r); err != nil {
 				continue
 			}
-			out = append(out, r)
+			if err := fn(r); err != nil {
+				return err
+			}
 		}
-		return out
+		return nil
 	}
-	for _, line := range bytes.Split(data, []byte{'\n'}) {
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
@@ -157,9 +179,11 @@ func ParseRecords(data []byte) []Record {
 		if err := json.Unmarshal(line, &r); err != nil {
 			continue
 		}
-		out = append(out, r)
+		if err := fn(r); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
 
 // EncodeBeat serialises the heartbeat record.

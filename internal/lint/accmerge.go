@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AccMergeConfig wires the accmerge analyzer to the module layout.
+type AccMergeConfig struct {
+	// StreamPkg is the package defining the streaming accumulators.
+	StreamPkg string
+	// IfaceName is the accumulator interface inside StreamPkg.
+	IfaceName string
+	// TableVar is the map[string]bool registry of implementations inside
+	// StreamPkg, keyed by concrete type name.
+	TableVar string
+	// RecordPkg / RecordName locate the raw record type accumulators must
+	// not retain past Observe.
+	RecordPkg  string
+	RecordName string
+}
+
+// DefaultAccMergeConfig matches the symfail module.
+var DefaultAccMergeConfig = AccMergeConfig{
+	StreamPkg:  "symfail/internal/analysis/stream",
+	IfaceName:  "Accumulator",
+	TableVar:   "RegisteredAccumulators",
+	RecordPkg:  "symfail/internal/core",
+	RecordName: "Record",
+}
+
+// NewAccMerge builds the accmerge analyzer. It enforces the streaming
+// accumulator contract statically, anchored at the stream package:
+//
+//   - registry closure, both directions: every concrete type in the package
+//     implementing the Accumulator interface must be a key of the
+//     RegisteredAccumulators table (so the merge-law test suite exercises
+//     it), and every table key must name such a type;
+//   - bounded memory: no accumulator — nor any same-package struct reachable
+//     from one through its fields — may declare a field retaining the raw
+//     record type (a Record, []Record, map of Records, ...). Records must be
+//     folded into O(devices + bins) state inside Observe, not hoarded.
+//     Non-accumulator types (e.g. the one-device Feeder buffer) are exempt.
+func NewAccMerge(cfg AccMergeConfig) *Analyzer {
+	if cfg.StreamPkg == "" {
+		cfg = DefaultAccMergeConfig
+	}
+	a := &Analyzer{
+		Name: "accmerge",
+		Doc:  "cross-check stream accumulator implementations against the registry and forbid raw-record retention",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path != cfg.StreamPkg {
+			return
+		}
+		scope := pass.Pkg.Types.Scope()
+		ifaceObj, ok := scope.Lookup(cfg.IfaceName).(*types.TypeName)
+		if !ok {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"interface %s.%s not found", cfg.StreamPkg, cfg.IfaceName)
+			return
+		}
+		iface, ok := ifaceObj.Type().Underlying().(*types.Interface)
+		if !ok {
+			pass.Reportf(ifaceObj.Pos(), "%s is not an interface", cfg.IfaceName)
+			return
+		}
+		table, tablePos := loadPanicTable(pass.Pkg, cfg.TableVar)
+		if table == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"registry %s.%s not found or not a map[string]... literal", cfg.StreamPkg, cfg.TableVar)
+			return
+		}
+		record := lookupRecordType(pass.Pkg, cfg)
+
+		// Collect the concrete implementations declared in the package.
+		var implNames []string
+		impls := make(map[string]*types.TypeName)
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn == ifaceObj || tn.IsAlias() {
+				continue
+			}
+			if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if types.Implements(tn.Type(), iface) || types.Implements(types.NewPointer(tn.Type()), iface) {
+				implNames = append(implNames, name)
+				impls[name] = tn
+			}
+		}
+		sort.Strings(implNames)
+
+		for _, name := range implNames {
+			if !table[name] {
+				pass.Reportf(impls[name].Pos(),
+					"%s implements %s but is not registered in %s: the merge-law test suite will not exercise it", name, cfg.IfaceName, cfg.TableVar)
+			}
+		}
+		keys := make([]string, 0, len(table))
+		for k := range table {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if impls[k] == nil {
+				pass.Reportf(tablePos[k].Pos(),
+					"registered accumulator %q has no implementation in %s", k, cfg.StreamPkg)
+			}
+		}
+
+		if record == nil {
+			pass.Reportf(pass.Pkg.Files[0].Pos(),
+				"record type %s.%s not found (is the package imported?)", cfg.RecordPkg, cfg.RecordName)
+			return
+		}
+		checkRetention(pass, cfg, impls, implNames, record)
+	}
+	return a
+}
+
+// lookupRecordType resolves the raw record type, either from the stream
+// package itself or from one of its imports.
+func lookupRecordType(pkg *Package, cfg AccMergeConfig) types.Type {
+	lookup := func(p *types.Package) types.Type {
+		if tn, ok := p.Scope().Lookup(cfg.RecordName).(*types.TypeName); ok {
+			return tn.Type()
+		}
+		return nil
+	}
+	if pkg.Path == cfg.RecordPkg {
+		return lookup(pkg.Types)
+	}
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == cfg.RecordPkg {
+			return lookup(imp)
+		}
+	}
+	return nil
+}
+
+// checkRetention reports every struct field that would hold raw records in
+// accumulator state: the fields of each implementation, plus the fields of
+// every same-package named struct reachable from one through field types.
+func checkRetention(pass *Pass, cfg AccMergeConfig, impls map[string]*types.TypeName, implNames []string, record types.Type) {
+	// Walk the reachable same-package named structs, breadth-first.
+	reach := make(map[*types.TypeName]bool)
+	var queue []*types.TypeName
+	for _, name := range implNames {
+		if !reach[impls[name]] {
+			reach[impls[name]] = true
+			queue = append(queue, impls[name])
+		}
+	}
+	enqueue := func(tn *types.TypeName) {
+		if tn.Pkg() == pass.Pkg.Types && !reach[tn] {
+			if _, ok := tn.Type().Underlying().(*types.Struct); ok {
+				reach[tn] = true
+				queue = append(queue, tn)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			walkNamed(st.Field(i).Type(), enqueue, nil)
+		}
+	}
+
+	// Report offending fields at their declaration sites.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok || !reach[tn] {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ft := pass.Pkg.Info.TypeOf(field.Type)
+				if ft != nil && retainsType(ft, record, nil) {
+					pass.Reportf(field.Pos(),
+						"accumulator state %s retains %s.%s past Observe: fold records into O(devices + bins) state instead", tn.Name(), cfg.RecordPkg, cfg.RecordName)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkNamed visits every named type referenced by t, recursing through
+// composite types and struct fields.
+func walkNamed(t types.Type, visit func(*types.TypeName), seen map[types.Type]bool) {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		visit(t.Obj())
+	case *types.Pointer:
+		walkNamed(t.Elem(), visit, seen)
+	case *types.Slice:
+		walkNamed(t.Elem(), visit, seen)
+	case *types.Array:
+		walkNamed(t.Elem(), visit, seen)
+	case *types.Map:
+		walkNamed(t.Key(), visit, seen)
+		walkNamed(t.Elem(), visit, seen)
+	case *types.Chan:
+		walkNamed(t.Elem(), visit, seen)
+	}
+}
+
+// retainsType reports whether t can hold a value of record: it is the record
+// type itself or a container (slice, array, map, pointer, chan, anonymous
+// struct) ultimately holding one. Named non-record types are not descended
+// into here — their own fields are checked at their declaration.
+func retainsType(t, record types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if types.Identical(t, record) {
+		return true
+	}
+	switch t := t.(type) {
+	case *types.Pointer:
+		return retainsType(t.Elem(), record, seen)
+	case *types.Slice:
+		return retainsType(t.Elem(), record, seen)
+	case *types.Array:
+		return retainsType(t.Elem(), record, seen)
+	case *types.Map:
+		return retainsType(t.Key(), record, seen) || retainsType(t.Elem(), record, seen)
+	case *types.Chan:
+		return retainsType(t.Elem(), record, seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if retainsType(t.Field(i).Type(), record, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -64,7 +64,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // DefaultAnalyzers returns the full analyzer suite with module defaults:
-// determinism, maporder, panictaxonomy, rngshare, and engineshare.
+// determinism, maporder, panictaxonomy, rngshare, engineshare, and accmerge.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DeterminismConfig{}),
@@ -72,6 +72,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NewPanicTaxonomy(TaxonomyConfig{}),
 		NewRNGShare(RNGConfig{}),
 		NewEngineShare(EngineConfig{}),
+		NewAccMerge(AccMergeConfig{}),
 	}
 }
 

@@ -146,6 +146,17 @@ func TestPanicTaxonomyGolden(t *testing.T) {
 	}))
 }
 
+func TestAccMergeGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/accmergefix"
+	checkGolden(t, "accmergefix", lint.NewAccMerge(lint.AccMergeConfig{
+		StreamPkg:  fixturePath,
+		IfaceName:  "Accumulator",
+		TableVar:   "RegisteredAccumulators",
+		RecordPkg:  fixturePath,
+		RecordName: "Record",
+	}))
+}
+
 func TestRNGShareGolden(t *testing.T) {
 	checkGolden(t, "rngsharefix", lint.NewRNGShare(lint.RNGConfig{}))
 }

@@ -7,8 +7,17 @@ import (
 	"time"
 
 	"symfail/internal/analysis"
+	"symfail/internal/analysis/stream"
 	"symfail/internal/forum"
+	"symfail/internal/sim"
 )
+
+// Each paper renderer below is split into a data-level core that consumes
+// the stream package's table types and a thin *analysis.Study wrapper. The
+// FromSnapshot variants render the same text from a stream.TablesSnapshot —
+// the `-stream` path — and, because the batch table methods and the
+// streaming accumulators share one reducer implementation, the two paths
+// print byte-identical reports.
 
 // Table1 renders the forum study's failure-type × recovery-action joint
 // distribution (paper Table 1).
@@ -54,29 +63,44 @@ func Section41(rep *forum.Report) string {
 // Figure2 renders the reboot-duration distribution with the paper's two
 // views: the full range and the sub-500 s zoom.
 func Figure2(s *analysis.Study) string {
+	return figure2Core(s.RebootDurations(), len(s.HLEvents(analysis.HLSelfShutdown)),
+		s.Options().SelfShutdownThreshold)
+}
+
+// Figure2FromSnapshot renders Figure 2 from a streaming snapshot.
+func Figure2FromSnapshot(sn *stream.TablesSnapshot) string {
+	return figure2Core(sn.RebootDurations, sn.MTBF.SelfShutdowns, sn.Config.SelfShutdownThreshold)
+}
+
+func figure2Core(durs []float64, selfs int, threshold time.Duration) string {
 	var b strings.Builder
-	durs := s.RebootDurations()
 	b.WriteString("Figure 2 — distribution of reboot durations\n")
 	fmt.Fprintf(&b, "shutdown events: %d\n", len(durs))
-	selfs := len(s.HLEvents(analysis.HLSelfShutdown))
 	if len(durs) > 0 {
 		fmt.Fprintf(&b, "self-shutdowns (<= %v): %d (%.1f%% of shutdown events)\n",
-			s.Options().SelfShutdownThreshold, selfs, 100*float64(selfs)/float64(len(durs)))
+			threshold, selfs, 100*float64(selfs)/float64(len(durs)))
 	}
 	b.WriteString("\nfull range (bin = 2500 s):\n")
-	full := s.RebootHistogram(0, 50000, 20)
-	b.WriteString(full.Render(40, func(lo, hi float64) string {
+	b.WriteString(rebootHistogram(durs, 0, 50000, 20).Render(40, func(lo, hi float64) string {
 		return fmt.Sprintf("[%5.0f,%5.0f)s", lo, hi)
 	}))
 	b.WriteString("\nzoom, duration < 500 s (bin = 25 s):\n")
-	zoom := s.RebootHistogram(0, 500, 20)
-	b.WriteString(zoom.Render(40, func(lo, hi float64) string {
+	b.WriteString(rebootHistogram(durs, 0, 500, 20).Render(40, func(lo, hi float64) string {
 		return fmt.Sprintf("[%3.0f,%3.0f)s", lo, hi)
 	}))
 	if med := medianOf(durs, 360); med > 0 {
 		fmt.Fprintf(&b, "median self-shutdown duration: %.0f s (paper: ~80 s)\n", med)
 	}
 	return b.String()
+}
+
+// rebootHistogram mirrors Study.RebootHistogram on a raw duration slice.
+func rebootHistogram(durs []float64, lo, hi float64, bins int) *sim.Histogram {
+	h := sim.NewHistogram(lo, hi, bins)
+	for _, v := range durs {
+		h.Add(v)
+	}
+	return h
 }
 
 func medianOf(durs []float64, below float64) float64 {
@@ -94,8 +118,12 @@ func medianOf(durs []float64, below float64) float64 {
 }
 
 // MTBF renders the section 6 headline numbers.
-func MTBF(s *analysis.Study) string {
-	rep := s.MTBF()
+func MTBF(s *analysis.Study) string { return mtbfCore(s.MTBF()) }
+
+// MTBFFromSnapshot renders the section 6 headline from a streaming snapshot.
+func MTBFFromSnapshot(sn *stream.TablesSnapshot) string { return mtbfCore(sn.MTBF) }
+
+func mtbfCore(rep stream.MTBFReport) string {
 	var b strings.Builder
 	b.WriteString("Section 6 — freezes and self-shutdowns\n")
 	fmt.Fprintf(&b, "observed phone-hours: %.0f\n", rep.ObservedHours)
@@ -106,8 +134,12 @@ func MTBF(s *analysis.Study) string {
 }
 
 // Table2 renders the collected panic events with frequencies and meanings.
-func Table2(s *analysis.Study) string {
-	rows := s.PanicTable()
+func Table2(s *analysis.Study) string { return table2Core(s.PanicTable()) }
+
+// Table2FromSnapshot renders Table 2 from a streaming snapshot.
+func Table2FromSnapshot(sn *stream.TablesSnapshot) string { return table2Core(sn.PanicTable) }
+
+func table2Core(rows []stream.PanicRow) string {
 	out := make([][]string, 0, len(rows))
 	for _, r := range rows {
 		meaning := r.Meaning
@@ -120,8 +152,12 @@ func Table2(s *analysis.Study) string {
 }
 
 // Figure3 renders the distribution of panic cascade sizes.
-func Figure3(s *analysis.Study) string {
-	st := s.Bursts()
+func Figure3(s *analysis.Study) string { return figure3Core(s.Bursts()) }
+
+// Figure3FromSnapshot renders Figure 3 from a streaming snapshot.
+func Figure3FromSnapshot(sn *stream.TablesSnapshot) string { return figure3Core(sn.Bursts) }
+
+func figure3Core(st stream.BurstStats) string {
 	var b strings.Builder
 	b.WriteString(IntHistogram("Figure 3 — distribution of subsequent panics (cascade sizes)", "size", st.SizeCounts, 40))
 	fmt.Fprintf(&b, "panics in cascades of >= 2: %.1f%% (paper: ~25%%)\n", 100*st.PanicsInBursts)
@@ -130,16 +166,23 @@ func Figure3(s *analysis.Study) string {
 
 // Figure5 renders the panic / high-level-event coalescence.
 func Figure5(s *analysis.Study) string {
-	st := s.Coalesce()
+	return figure5Core(s.Coalesce(), s.Options().CoalescenceWindow, s.RelatedPercentWithAllShutdowns())
+}
+
+// Figure5FromSnapshot renders Figure 5 from a streaming snapshot.
+func Figure5FromSnapshot(sn *stream.TablesSnapshot) string {
+	return figure5Core(sn.Coalescence, sn.Config.CoalescenceWindow, sn.RelatedPercentAllShutdowns)
+}
+
+func figure5Core(st stream.CoalescenceStats, window time.Duration, allPct float64) string {
 	var b strings.Builder
 	b.WriteString("Figure 5 — panics and high-level events (window ")
-	fmt.Fprintf(&b, "%v)\n", s.Options().CoalescenceWindow)
+	fmt.Fprintf(&b, "%v)\n", window)
 	fmt.Fprintf(&b, "panics: %d, related to HL events: %d (%.1f%%, paper: 51%%)\n",
 		st.TotalPanics, st.RelatedPanics, st.RelatedPercent)
 	fmt.Fprintf(&b, "  -> freezes: %d, -> self-shutdowns: %d, isolated HL events: %d\n",
 		st.ToFreeze, st.ToSelfShutdown, st.IsolatedHL)
-	fmt.Fprintf(&b, "with ALL shutdown events included: %.1f%% related (paper: 55%%)\n",
-		s.RelatedPercentWithAllShutdowns())
+	fmt.Fprintf(&b, "with ALL shutdown events included: %.1f%% related (paper: 55%%)\n", allPct)
 	b.WriteString("\nper category (Figure 5b):\n")
 	keys := make([]string, 0, len(st.ByCategory))
 	for k := range st.ByCategory {
@@ -185,7 +228,15 @@ func Figure4Sweep(s *analysis.Study, windows []time.Duration) string {
 
 // Table3 renders the panic-activity relationship.
 func Table3(s *analysis.Study) string {
-	rows := s.ActivityTable()
+	return table3Core(s.ActivityTable(), s.RealTimeActivityShare())
+}
+
+// Table3FromSnapshot renders Table 3 from a streaming snapshot.
+func Table3FromSnapshot(sn *stream.TablesSnapshot) string {
+	return table3Core(sn.Activity, sn.RealTimeActivitySharePct)
+}
+
+func table3Core(rows []stream.ActivityRow, rtShare float64) string {
 	cats := []string{"E32USER-CBase", "KERN-EXEC", "MSGS Client", "Phone.app", "USER", "ViewSrv"}
 	var out [][]string
 	for _, r := range rows {
@@ -199,19 +250,37 @@ func Table3(s *analysis.Study) string {
 	headers := append([]string{"activity"}, append(cats, "total")...)
 	var b strings.Builder
 	b.WriteString(Table("Table 3 — panic-activity relationship (% of HL-related panics)", headers, out))
-	fmt.Fprintf(&b, "panics during real-time activity (call/message): %.1f%% (paper: ~45%%)\n",
-		s.RealTimeActivityShare())
+	fmt.Fprintf(&b, "panics during real-time activity (call/message): %.1f%% (paper: ~45%%)\n", rtShare)
 	return b.String()
 }
 
 // Figure6 renders the running-applications-at-panic distribution.
 func Figure6(s *analysis.Study) string {
-	return IntHistogram("Figure 6 — number of running applications at panic time", "apps", s.RunningAppsHistogram(8), 40)
+	return figure6Core(s.RunningAppsHistogram(stream.RunningAppsCap))
+}
+
+// Figure6FromSnapshot renders Figure 6 from a streaming snapshot.
+func Figure6FromSnapshot(sn *stream.TablesSnapshot) string { return figure6Core(sn.RunningApps) }
+
+func figure6Core(hist map[int]int) string {
+	return IntHistogram("Figure 6 — number of running applications at panic time", "apps", hist, 40)
 }
 
 // Table4 renders the panic / running-application relationship.
 func Table4(s *analysis.Study) string {
-	rows := s.AppPanicTable()
+	return table4Core(s.AppPanicTable(), s.TopPanicApps(5))
+}
+
+// Table4FromSnapshot renders Table 4 from a streaming snapshot.
+func Table4FromSnapshot(sn *stream.TablesSnapshot) string {
+	top := sn.TopApps
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	return table4Core(sn.AppTable, top)
+}
+
+func table4Core(rows []stream.AppPanicRow, top []stream.AppShare) string {
 	appSet := make(map[string]bool)
 	for _, r := range rows {
 		for app := range r.ByApp {
@@ -235,8 +304,8 @@ func Table4(s *analysis.Study) string {
 	var b strings.Builder
 	b.WriteString(Table("Table 4 — panic-running applications relationship (% of all panics)", headers, out))
 	b.WriteString("applications most often running at panic time:\n")
-	for _, top := range s.TopPanicApps(5) {
-		fmt.Fprintf(&b, "  %-12s %5.1f%%\n", top.App, top.Percent)
+	for _, t := range top {
+		fmt.Fprintf(&b, "  %-12s %5.1f%%\n", t.App, t.Percent)
 	}
 	return b.String()
 }

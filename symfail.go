@@ -20,9 +20,11 @@ package symfail
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"symfail/internal/analysis"
+	"symfail/internal/analysis/stream"
 	"symfail/internal/collect"
 	"symfail/internal/core"
 	"symfail/internal/forum"
@@ -72,6 +74,18 @@ type FieldStudyConfig struct {
 	// Adversity arms the deterministic fault-injection layer (flash and
 	// network). The zero value runs the pre-adversity study bit for bit.
 	Adversity AdversityConfig
+	// Progress, when set, is called after each device's log folds into the
+	// study-wide streaming accumulator during final collection: done devices
+	// out of total, plus a Peek at the running event counts. Calls are
+	// serialised under a mutex; with parallel workers the completion order
+	// is scheduling-dependent, but the final (done == total) Peek is not.
+	Progress func(done, total int, p stream.Peek)
+	// Monitor, when set on the RunFieldStudyWithCollector path, is wired to
+	// the collection server's live record tap (ServerConfig.OnRecord) and
+	// counts records as they are acknowledged mid-study. Monitor is the one
+	// accumulator whose counts tolerate the tap's at-least-once delivery;
+	// see its doc. Ignored when no collector is run on the caller's behalf.
+	Monitor *stream.Monitor
 }
 
 // AdversityConfig calibrates the fault-injection layer. Everything is a
@@ -193,16 +207,44 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 	// Final collection is sharded like the run itself: each device's log
 	// travels independently, and both Dataset.Put and the server's chunk
 	// merge are canonical per device, so collection order cannot change the
-	// collected bytes.
+	// collected bytes. Each shard also folds its device into a private
+	// streaming accumulator and merges it into the study-wide one — device
+	// sets are disjoint, so the merge order cannot change the analysis
+	// (DESIGN.md §11) — which is what gives Progress its online view and
+	// the direct path its single-pass Study.
 	ds := collect.NewDataset()
+	total := len(loggers)
+	// On the TCP path the accumulator is only needed for Progress — the
+	// Study is re-analysed from the server's dataset afterwards.
+	needAcc := cfg.CollectorAddr == "" || cfg.Progress != nil
+	agg := stream.NewCollect(cfg.Analysis)
+	var (
+		aggMu sync.Mutex
+		done  int
+	)
 	err := sim.RunShards(len(loggers), cfg.Workers, func(i int) error {
 		id := fleet.Devices[i].ID()
+		data := loggers[i].LogBytes()
 		if cfg.CollectorAddr != "" {
-			if err := uploadFinal(cfg.CollectorAddr, id, loggers[i].LogBytes()); err != nil {
+			if err := uploadFinal(cfg.CollectorAddr, id, data); err != nil {
 				return err
 			}
 		} else {
-			ds.Put(id, loggers[i].LogBytes())
+			ds.Put(id, data)
+		}
+		if !needAcc {
+			return nil
+		}
+		part := stream.NewCollect(cfg.Analysis)
+		feedLog(part, id, data)
+		aggMu.Lock()
+		defer aggMu.Unlock()
+		if err := agg.Merge(part); err != nil {
+			return err
+		}
+		done++
+		if cfg.Progress != nil {
+			cfg.Progress(done, total, agg.Peek())
 		}
 		return nil
 	})
@@ -210,7 +252,16 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 		return nil, err
 	}
 
-	study := analysis.New(ds.AllRecords(), cfg.Analysis)
+	// The direct path's Study comes straight from the merged accumulator.
+	// On the TCP path the local dataset is empty — the data lives on the
+	// caller's collection server (RunFieldStudyWithCollector re-analyses
+	// from there) — so the legacy empty Study is preserved.
+	var study *analysis.Study
+	if cfg.CollectorAddr == "" {
+		study = analysis.FromCollect(agg)
+	} else {
+		study = analysis.New(ds.AllRecords(), cfg.Analysis)
+	}
 	out := &FieldStudy{
 		Fleet: fleet, Loggers: loggers, Dataset: ds, Study: study,
 		Reporters: reporters, Uploaders: uploaders,
@@ -222,6 +273,31 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 		}
 	}
 	return out, nil
+}
+
+// feedLog streams one device's raw log bytes into a collect accumulator
+// through a sorting Feeder (the cursor input contract), with only this one
+// device's records materialised.
+func feedLog(c *stream.Collect, id string, data []byte) {
+	f := &stream.Feeder{AddDevice: c.AddDevice, Observe: c.Observe}
+	_ = f.Begin(id)
+	_ = core.ScanRecords(data, func(r core.Record) error { return f.Record(id, r) })
+	f.Flush()
+}
+
+// collectFromDataset rebuilds the study-wide accumulator from a collected
+// dataset one device at a time: Dataset.Stream keeps a single device's log
+// bytes in memory, and the Feeder's per-device record buffer is the only
+// other allocation that scales with the data.
+func collectFromDataset(ds *collect.Dataset, opts analysis.Options) (*stream.Collect, error) {
+	c := stream.NewCollect(opts)
+	f := &stream.Feeder{AddDevice: c.AddDevice, Observe: c.Observe}
+	err := ds.Stream(f.Begin, f.Record)
+	f.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // uploadFinal ships a device's end-of-study log, riding out collector
@@ -266,11 +342,15 @@ const collectorSeedSalt = 0x636f6c6c656374
 // Workers:1 the whole crash/recover history is deterministic in the seed.
 func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Supervisor, error) {
 	ds := collect.NewDataset()
-	sup, err := collect.NewSupervisor("127.0.0.1:0", ds, collect.SupervisorConfig{
+	scfg := collect.SupervisorConfig{
 		Crash:        cfg.Adversity.ServerCrash,
 		CompactEvery: cfg.Adversity.ServerCompactWAL,
 		Rng:          sim.NewRand(cfg.Seed ^ collectorSeedSalt),
-	})
+	}
+	if cfg.Monitor != nil {
+		scfg.OnRecord = cfg.Monitor.Observe
+	}
+	sup, err := collect.NewSupervisor("127.0.0.1:0", ds, scfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -287,9 +367,15 @@ func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Sup
 		_ = sup.Close()
 		return nil, nil, err
 	}
-	// Analyse the dataset that actually travelled over the wire.
+	// Analyse the dataset that actually travelled over the wire, streaming
+	// it one device at a time.
 	fs.Dataset = ds
-	fs.Study = analysis.New(ds.AllRecords(), cfg.Analysis)
+	c, err := collectFromDataset(ds, cfg.Analysis)
+	if err != nil {
+		_ = sup.Close()
+		return nil, nil, err
+	}
+	fs.Study = analysis.FromCollect(c)
 	return fs, sup, nil
 }
 
