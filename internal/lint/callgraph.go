@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the whole-program half of symlint: a static call graph over
+// go/types that the interprocedural analyzers (transitive determinism,
+// ackorder, errdrop) share. The graph is deliberately simple and honest
+// about its approximations:
+//
+//   - Static calls (package functions, methods on concrete receivers) are
+//     resolved exactly through types.Info.
+//   - Interface-method calls are over-approximated: an edge is added to
+//     every method in the analyzed package set with the same name whose
+//     receiver type implements the called interface. Edges carry an Iface
+//     marker so diagnostics can say "via interface dispatch".
+//   - Calls through function values (closures handed around, struct fields
+//     of func type) are NOT resolved. This is sound for the analyzers here
+//     because a function literal's body is attributed to the function that
+//     lexically declares it, so whatever the closure does is charged to its
+//     creator — which is where the contract violation was written.
+//   - Bodies exist only for functions declared in the analyzed package set;
+//     external (stdlib) callees are leaf nodes matched by qualified name.
+//
+// Node and edge order is deterministic (package load order, then file,
+// then declaration, then call-site order), so every diagnostic chain built
+// from the graph is byte-stable across runs.
+
+// CGNode is one function in the call graph.
+type CGNode struct {
+	Fn   *types.Func
+	Pkg  *Package      // defining analyzed package; nil for external functions
+	Decl *ast.FuncDecl // nil for external functions
+
+	// Calls holds the resolved outgoing edges in call-site order, deduplicated
+	// per callee (first site wins).
+	Calls []CGEdge
+}
+
+// CGEdge is one resolved call.
+type CGEdge struct {
+	Callee *CGNode
+	Pos    ast.Node // the call expression, for diagnostics
+	Iface  bool     // true when this edge is an interface-dispatch over-approximation
+}
+
+// CallGraph is the static call graph over one analyzed package set.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+	order []*CGNode // analyzed nodes in deterministic order
+
+	// preds is the reverse adjacency (analyzed callers per node), used by
+	// reverse-BFS reachability. Deterministic append order.
+	preds map[*CGNode][]*CGNode
+
+	// methodsByName indexes analyzed methods for interface-call resolution.
+	methodsByName map[string][]*CGNode
+}
+
+// BuildCallGraph constructs the graph for the given packages. The packages
+// must all come from one Loader (so types.Object identities agree across
+// package boundaries).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes:         make(map[*types.Func]*CGNode),
+		preds:         make(map[*CGNode][]*CGNode),
+		methodsByName: make(map[string][]*CGNode),
+	}
+	// Pass 1: index every declared function and method.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Fn: fn, Pkg: pkg, Decl: fd}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+				if fd.Recv != nil {
+					g.methodsByName[fn.Name()] = append(g.methodsByName[fn.Name()], n)
+				}
+			}
+		}
+	}
+	// Pass 2: resolve call sites.
+	for _, n := range g.order {
+		if n.Decl.Body == nil {
+			continue
+		}
+		g.addEdges(n)
+	}
+	return g
+}
+
+// NodeOf returns the graph node for fn, or nil when fn was not declared in
+// the analyzed set and is not referenced by it.
+func (g *CallGraph) NodeOf(fn *types.Func) *CGNode { return g.nodes[fn] }
+
+// FuncsOf returns the analyzed nodes declared in pkg, in declaration order.
+func (g *CallGraph) FuncsOf(pkg *Package) []*CGNode {
+	var out []*CGNode
+	for _, n := range g.order {
+		if n.Pkg == pkg {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Nodes returns every analyzed node in deterministic order.
+func (g *CallGraph) Nodes() []*CGNode { return g.order }
+
+// addEdges walks one declared function's body (including the bodies of any
+// function literals it declares — their effects are charged to the
+// declaring function) and appends resolved edges.
+func (g *CallGraph) addEdges(n *CGNode) {
+	seen := make(map[*CGNode]bool)
+	add := func(callee *CGNode, site ast.Node, iface bool) {
+		if callee == nil || seen[callee] {
+			return
+		}
+		seen[callee] = true
+		n.Calls = append(n.Calls, CGEdge{Callee: callee, Pos: site, Iface: iface})
+		if callee.Decl != nil {
+			g.preds[callee] = append(g.preds[callee], n)
+		}
+	}
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(n.Pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		callee := g.extern(fn)
+		add(callee, call, false)
+		// Interface dispatch: over-approximate to every analyzed method of
+		// the same name whose receiver implements the called interface.
+		if iface := interfaceOf(fn); iface != nil {
+			for _, impl := range g.methodsByName[fn.Name()] {
+				recv := recvNamed(impl.Fn)
+				if recv == nil {
+					continue
+				}
+				if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+					add(impl, call, true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// extern returns the node for fn, creating a leaf node when fn has no
+// declaration in the analyzed set (stdlib or un-analyzed module code).
+func (g *CallGraph) extern(fn *types.Func) *CGNode {
+	if n, ok := g.nodes[fn]; ok {
+		return n
+	}
+	n := &CGNode{Fn: fn}
+	g.nodes[fn] = n
+	return n
+}
+
+// calleeOf statically resolves a call expression to the *types.Func it
+// invokes, or nil for builtins, conversions, and function-value calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified package call (pkg.F) or method expression (T.M).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// interfaceOf returns the interface fn is declared on when fn is an
+// abstract interface method, nil otherwise.
+func interfaceOf(fn *types.Func) *types.Interface {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// recvNamed returns the named receiver type of a method (pointer stripped),
+// or nil for package functions and interface methods.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// shortFuncName renders a function compactly for diagnostic chains:
+// "Type.Method" for methods, "pkg.Func" for package functions.
+func shortFuncName(fn *types.Func) string {
+	if n := recvNamed(fn); n != nil {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	if iface := interfaceOf(fn); iface != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := sig.Recv().Type().(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	if fn.Pkg() != nil {
+		return pkgBase(fn.Pkg().Path()) + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// reachTarget describes one step toward a reachability target: the next
+// node on the shortest chain, and — when next is the target itself — the
+// reason it matched.
+type reachTarget struct {
+	next *CGNode
+	why  string // non-empty exactly when next is the matched target
+}
+
+// ReverseReach computes, for every analyzed node, whether it can reach a
+// function matched by target, via breadth-first search over reverse edges
+// (so each reaching node records its shortest next hop, deterministically).
+// target is called on external and analyzed callees alike and returns a
+// non-empty reason string on a match.
+func (g *CallGraph) ReverseReach(target func(*types.Func) string) map[*CGNode]*reachTarget {
+	reach := make(map[*CGNode]*reachTarget)
+	var queue []*CGNode
+	// Layer 0: nodes with a direct edge to a target.
+	for _, n := range g.order {
+		for _, e := range n.Calls {
+			if why := target(e.Callee.Fn); why != "" {
+				reach[n] = &reachTarget{next: e.Callee, why: why}
+				queue = append(queue, n)
+				break
+			}
+		}
+	}
+	// BFS over predecessors.
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		for _, p := range g.preds[m] {
+			if reach[p] != nil {
+				continue
+			}
+			reach[p] = &reachTarget{next: m}
+			queue = append(queue, p)
+		}
+	}
+	return reach
+}
+
+// ChainFrom reconstructs the shortest call chain from n to its matched
+// target as rendered function names, ending with the target itself.
+func ChainFrom(n *CGNode, reach map[*CGNode]*reachTarget) []string {
+	var chain []string
+	cur := n
+	for {
+		chain = append(chain, shortFuncName(cur.Fn))
+		r := reach[cur]
+		if r == nil {
+			return chain // defensive: n did not reach a target
+		}
+		if r.why != "" {
+			chain = append(chain, shortFuncName(r.next.Fn))
+			return chain
+		}
+		cur = r.next
+	}
+}
+
+// reachWhy returns the reason string at the end of n's chain.
+func reachWhy(n *CGNode, reach map[*CGNode]*reachTarget) string {
+	cur := n
+	for reach[cur] != nil {
+		r := reach[cur]
+		if r.why != "" {
+			return r.why
+		}
+		cur = r.next
+	}
+	return ""
+}
+
+// TypeRef names a type by package path and type name, so analyzer
+// configurations can anchor themselves to module APIs instead of
+// hard-coding call lists.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+// matchesRef reports whether t (pointer stripped) is the named type ref.
+func matchesRef(t types.Type, refs []TypeRef) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	for _, ref := range refs {
+		if obj.Name() == ref.Name && obj.Pkg().Path() == ref.Pkg {
+			return true
+		}
+	}
+	return false
+}

@@ -42,6 +42,22 @@ var forbiddenImports = map[string]string{
 	"crypto/rand":  "OS entropy source; use *sim.Rand from the engine",
 }
 
+// nondetSource reports why fn is a nondeterminism source, or "" when it is
+// not one. It is the target predicate for the transitive reachability pass.
+func nondetSource(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if why, bad := forbiddenImports[pkg.Path()]; bad {
+		return why
+	}
+	if byName := forbiddenFuncs[pkg.Path()]; byName != nil {
+		return byName[fn.Name()]
+	}
+	return ""
+}
+
 // DeterminismConfig scopes the determinism rules to package import-path
 // prefixes. The default covers every simulation package in the module.
 type DeterminismConfig struct {
@@ -55,10 +71,27 @@ var DefaultDeterminismPrefixes = []string{
 	"symfail/internal/",
 }
 
-// NewDeterminism builds the determinism analyzer: inside restricted
-// packages, wall-clock reads, real timers, ambient environment lookups, and
-// unseeded RNG packages are forbidden. Virtual time (sim.Engine) and the
-// seeded *sim.Rand are the only legitimate sources of time and randomness.
+// NewDeterminism builds the determinism analyzer. It has two layers:
+//
+// File-local: inside restricted packages, wall-clock reads, real timers,
+// ambient environment lookups, and unseeded RNG packages are forbidden at
+// the reference site — this catches direct calls and non-call references
+// (e.g. `f := time.Now`) alike.
+//
+// Transitive: a restricted function must also not reach a nondeterminism
+// source through code *outside* the restricted set. For every call from a
+// restricted function into an analyzed-but-unrestricted function, the call
+// graph is searched; if any chain ends at a source, the call site is
+// flagged with the full chain. Calls into other restricted functions are
+// not re-reported — those functions are judged on their own, so each leak
+// is diagnosed exactly once, at the point where control leaves the
+// contract's territory. Interface calls are over-approximated to every
+// analyzed implementation (the diagnostic says so); dynamic func values
+// are not resolved, but a closure's body is charged to the function that
+// declares it, which the restricted root set covers.
+//
+// Virtual time (sim.Engine) and the seeded *sim.Rand are the only
+// legitimate sources of time and randomness.
 func NewDeterminism(cfg DeterminismConfig) *Analyzer {
 	prefixes := cfg.RestrictedPrefixes
 	if prefixes == nil {
@@ -66,7 +99,7 @@ func NewDeterminism(cfg DeterminismConfig) *Analyzer {
 	}
 	a := &Analyzer{
 		Name: "determinism",
-		Doc:  "forbid wall-clock, environment, and unseeded-RNG use in simulation packages",
+		Doc:  "forbid wall-clock, environment, and unseeded-RNG use in simulation packages, transitively through the call graph",
 	}
 	a.Run = func(pass *Pass) {
 		if !pathHasPrefix(pass.Pkg.Path, prefixes) {
@@ -75,6 +108,7 @@ func NewDeterminism(cfg DeterminismConfig) *Analyzer {
 		for _, f := range pass.Pkg.Files {
 			checkDeterminismFile(pass, f)
 		}
+		checkDeterminismTransitive(pass, prefixes)
 	}
 	return a
 }
@@ -117,4 +151,34 @@ func checkDeterminismFile(pass *Pass, f *ast.File) {
 		}
 		return true
 	})
+}
+
+// checkDeterminismTransitive flags calls from this (restricted) package
+// into unrestricted analyzed code that transitively reaches a
+// nondeterminism source, reporting the full call chain.
+func checkDeterminismTransitive(pass *Pass, prefixes []string) {
+	g := pass.Graph()
+	reach := g.ReverseReach(nondetSource)
+	for _, n := range g.FuncsOf(pass.Pkg) {
+		for _, e := range n.Calls {
+			c := e.Callee
+			if c.Decl == nil || c.Pkg == nil {
+				continue // external callee: direct sources are the file-local layer's job
+			}
+			if pathHasPrefix(c.Pkg.Path, prefixes) {
+				continue // restricted callee is judged in its own package
+			}
+			if reach[c] == nil {
+				continue
+			}
+			chain := append([]string{shortFuncName(n.Fn)}, ChainFrom(c, reach)...)
+			via := ""
+			if e.Iface {
+				via = " (call resolved by interface over-approximation)"
+			}
+			pass.ReportChainf(e.Pos.Pos(), chain,
+				"call to %s transitively reaches %s: %s%s",
+				shortFuncName(c.Fn), chain[len(chain)-1], reachWhy(c, reach), via)
+		}
+	}
 }

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropConfig anchors the errdrop analyzer to the module's durability
+// APIs. The critical-call set is derived from these references at analysis
+// time — methods are enumerated from the named types' method sets, not
+// hard-coded — so a durability API growing a new fallible operation is
+// covered automatically.
+type ErrDropConfig struct {
+	// StoreTypes are the durable-medium types (structs or interfaces).
+	// Every method on one of them that accepts payload bytes ([]byte) and
+	// reports acceptance through a final bool or error result is a
+	// durability-critical call.
+	StoreTypes []TypeRef
+	// ResultTypes are result types that carry a recovery or durability
+	// outcome; any function returning one is a durability-critical call
+	// regardless of where it is declared.
+	ResultTypes []TypeRef
+}
+
+// DefaultErrDropConfig matches the symfail module: the collection tier's
+// crash-faithful store, the phone's flash filesystem and the Symbian file
+// server's medium interface, plus the framed-log recovery outcome.
+var DefaultErrDropConfig = ErrDropConfig{
+	StoreTypes: []TypeRef{
+		{Pkg: "symfail/internal/collect", Name: "CrashStore"},
+		{Pkg: "symfail/internal/phone", Name: "FS"},
+		{Pkg: "symfail/internal/symbos", Name: "Store"},
+	},
+	ResultTypes: []TypeRef{
+		{Pkg: "symfail/internal/core", Name: "Recovery"},
+	},
+}
+
+// NewErrDrop builds the errdrop analyzer: the result of a
+// durability-critical call must not be discarded. A dropped Write/Append
+// bool is a record silently lost on a full flash; a dropped Recovery is a
+// salvage/loss tally the boot record never sees. Three discard forms are
+// flagged: a critical call as a bare expression statement, as the operand
+// of go/defer, and an assignment that sends every critical result to the
+// blank identifier.
+//
+// The critical set is closed over wrappers through the call graph: an
+// analyzed function whose final result is bool or error and whose return
+// statements hand back a critical call's result directly is itself
+// critical, so `persist(...)` cannot launder `fs.Append(...)`.
+func NewErrDrop(cfg ErrDropConfig) *Analyzer {
+	if cfg.StoreTypes == nil && cfg.ResultTypes == nil {
+		cfg = DefaultErrDropConfig
+	}
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "forbid discarding durability-critical results (store write/append acceptance, sync outcomes, log-recovery tallies)",
+	}
+	a.Run = func(pass *Pass) {
+		critical := criticalSet(pass, cfg)
+		for _, f := range pass.Pkg.Files {
+			checkErrDropFile(pass, f, critical)
+		}
+	}
+	return a
+}
+
+// criticalSet derives the durability-critical functions visible to this
+// run: base calls from the configured APIs, closed over direct-return
+// wrappers via the call graph. The set is computed once per Run and cached
+// on the graph's run state through memoization on the pass.
+func criticalSet(pass *Pass, cfg ErrDropConfig) map[*types.Func]bool {
+	g := pass.Graph()
+	critical := make(map[*types.Func]bool)
+	isBase := func(fn *types.Func) bool {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if matchesRef(sig.Results().At(i).Type(), cfg.ResultTypes) {
+				return true
+			}
+		}
+		if sig.Recv() == nil || !matchesRef(sig.Recv().Type(), cfg.StoreTypes) {
+			return false
+		}
+		if !hasFinalBoolOrError(sig) {
+			return false
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isByteSlice(sig.Params().At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	// Seed with every function the graph saw (declared or external leaf).
+	for _, n := range g.Nodes() {
+		if isBase(n.Fn) {
+			critical[n.Fn] = true
+		}
+		for _, e := range n.Calls {
+			if isBase(e.Callee.Fn) {
+				critical[e.Callee.Fn] = true
+			}
+		}
+	}
+	// Close over wrappers: a bool/error-returning function whose return
+	// statement directly hands back a critical call. Iterate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if critical[n.Fn] || n.Decl.Body == nil {
+				continue
+			}
+			sig, ok := n.Fn.Type().(*types.Signature)
+			if !ok || !hasFinalBoolOrError(sig) {
+				continue
+			}
+			if returnsCriticalCall(n, critical) {
+				critical[n.Fn] = true
+				changed = true
+			}
+		}
+	}
+	return critical
+}
+
+// returnsCriticalCall reports whether any return statement in n's body
+// returns the result of a critical call directly.
+func returnsCriticalCall(n *CGNode, critical map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := node.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if fn := calleeOf(n.Pkg.Info, call); fn != nil && critical[fn] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func hasFinalBoolOrError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.Bool {
+		return true
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+func checkErrDropFile(pass *Pass, f *ast.File, critical map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	criticalCall := func(e ast.Expr) *types.Func {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		if fn := calleeOf(info, call); fn != nil && critical[fn] {
+			return fn
+		}
+		return nil
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if fn := criticalCall(n.X); fn != nil {
+				pass.Reportf(n.Pos(), "result of %s discarded: durability-critical outcomes must be checked or explicitly allowed", shortFuncName(fn))
+			}
+		case *ast.GoStmt:
+			if fn := calleeOf(info, n.Call); fn != nil && critical[fn] {
+				pass.Reportf(n.Pos(), "result of %s discarded by go statement: durability-critical outcomes must be checked or explicitly allowed", shortFuncName(fn))
+			}
+		case *ast.DeferStmt:
+			if fn := calleeOf(info, n.Call); fn != nil && critical[fn] {
+				pass.Reportf(n.Pos(), "result of %s discarded by defer: durability-critical outcomes must be checked or explicitly allowed", shortFuncName(fn))
+			}
+		case *ast.AssignStmt:
+			checkErrDropAssign(pass, n, criticalCall)
+		}
+		return true
+	})
+}
+
+// checkErrDropAssign flags `_ = criticalCall(...)` and multi-assign forms
+// where every result of interest lands in the blank identifier. For a
+// single critical call on the right-hand side of a tuple assignment
+// (`v, ok := fs.Read(...)` style), only the final bool/error position and
+// any critical-result-typed positions count as "of interest".
+func checkErrDropAssign(pass *Pass, as *ast.AssignStmt, criticalCall func(ast.Expr) *types.Func) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment from one call: critical iff the final result
+		// position is blank (that is where acceptance is reported).
+		fn := criticalCall(as.Rhs[0])
+		if fn == nil {
+			return
+		}
+		if isBlank(as.Lhs[len(as.Lhs)-1]) {
+			pass.Reportf(as.Pos(), "final result of %s assigned to _: durability-critical outcomes must be checked or explicitly allowed", shortFuncName(fn))
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if fn := criticalCall(rhs); fn != nil {
+			pass.Reportf(as.Pos(), "result of %s assigned to _: durability-critical outcomes must be checked or explicitly allowed", shortFuncName(fn))
+		}
+	}
+}

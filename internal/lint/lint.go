@@ -2,12 +2,16 @@
 // module, modeled on the golang.org/x/tools/go/analysis shape but built
 // entirely on the standard library (go/ast, go/parser, go/token, go/types).
 //
-// The simulator's scientific claims rest on two statically checkable
+// The simulator's scientific claims rest on statically checkable
 // contracts: bit-for-bit determinism (no ambient time, environment, or
-// global randomness inside the simulation packages) and a closed panic
-// taxonomy (every mechanistically raised (Category, Type) pair is known to
-// the analysis layer). The analyzers in this package enforce both, so a
-// future refactor cannot silently break the paper reproduction.
+// global randomness inside the simulation packages — enforced both
+// file-locally and transitively over a whole-program call graph), a closed
+// panic taxonomy (every mechanistically raised (Category, Type) pair is
+// known to the analysis layer), single-owner engines, registered mergeable
+// accumulators, WAL-before-ACK ordering in the collection server, and
+// never-discarded durability results. The analyzers in this package
+// enforce all of them, so a future refactor cannot silently break the
+// paper reproduction.
 //
 // Diagnostics can be suppressed one line at a time with an explicit,
 // reasoned escape hatch:
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding, rendered as "file:line: analyzer: message".
@@ -29,10 +34,18 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain, when set, is the call chain behind an interprocedural finding:
+	// the function containing the flagged call site first, the offending
+	// sink last. Rendered in brackets after the message.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+	if len(d.Chain) > 0 {
+		s += " [" + strings.Join(d.Chain, " -> ") + "]"
+	}
+	return s
 }
 
 // Analyzer is one named check. Run is invoked once per loaded package.
@@ -40,6 +53,14 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass)
+}
+
+// runState is shared by every (analyzer, package) pass of one Run call. It
+// lazily builds the whole-program call graph so interprocedural analyzers
+// pay for it once and file-local analyzers never do.
+type runState struct {
+	pkgs  []*Package
+	graph *CallGraph
 }
 
 // Pass carries one (analyzer, package) unit of work.
@@ -51,7 +72,17 @@ type Pass struct {
 	// such as the panic-taxonomy cross-reference.
 	All []*Package
 
+	run   *runState
 	diags *[]Diagnostic
+}
+
+// Graph returns the call graph over the run's package set, building it on
+// first use and sharing it across every subsequent pass of the same Run.
+func (p *Pass) Graph() *CallGraph {
+	if p.run.graph == nil {
+		p.run.graph = BuildCallGraph(p.run.pkgs)
+	}
+	return p.run.graph
 }
 
 // Reportf records a diagnostic at pos.
@@ -63,8 +94,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChainf records a diagnostic carrying an interprocedural call chain.
+func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // DefaultAnalyzers returns the full analyzer suite with module defaults:
-// determinism, maporder, panictaxonomy, rngshare, engineshare, and accmerge.
+// determinism (file-local + transitive), maporder, panictaxonomy, rngshare,
+// engineshare, accmerge, ackorder, and errdrop.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DeterminismConfig{}),
@@ -73,18 +115,27 @@ func DefaultAnalyzers() []*Analyzer {
 		NewRNGShare(RNGConfig{}),
 		NewEngineShare(EngineConfig{}),
 		NewAccMerge(AccMergeConfig{}),
+		NewAckOrder(AckOrderConfig{}),
+		NewErrDrop(ErrDropConfig{}),
 	}
 }
 
 // Run applies every analyzer to every package, then filters the findings
 // through the //symlint:allow directives found in the analyzed sources.
 // Malformed or unused allow directives are reported under the pseudo-analyzer
-// name "directive". The result is sorted by position.
+// name "directive".
+//
+// The result order is a contract: diagnostics are sorted by position
+// (filename, line, column), then analyzer name, then message, so the output
+// is byte-identical regardless of package or analyzer iteration order —
+// the lint tool meets the determinism bar it enforces (pinned by
+// TestRunDeterministicOrder).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	rs := &runState{pkgs: pkgs}
 	for _, a := range analyzers {
 		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Fset: pkgFset(pkg), Pkg: pkg, All: pkgs, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkgFset(pkg), Pkg: pkg, All: pkgs, run: rs, diags: &diags}
 			a.Run(pass)
 		}
 	}
@@ -114,6 +165,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
 		}
 		if a.Analyzer != b.Analyzer {
 			return a.Analyzer < b.Analyzer

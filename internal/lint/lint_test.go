@@ -42,11 +42,17 @@ func loadFixture(t *testing.T, name string) []*lint.Package {
 // rendered diagnostics, with module-relative paths, against the golden file.
 func checkGolden(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
 	t.Helper()
+	checkGoldenPkgs(t, fixture, loadFixture(t, fixture), analyzers...)
+}
+
+// checkGoldenPkgs is checkGolden over an explicit package set, for fixtures
+// spanning multiple packages (the transitive-determinism tree).
+func checkGoldenPkgs(t *testing.T, golden string, pkgs []*lint.Package, analyzers ...*lint.Analyzer) {
+	t.Helper()
 	l, err := sharedLoader()
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs := loadFixture(t, fixture)
 	diags := lint.Run(pkgs, analyzers)
 	var b strings.Builder
 	for _, d := range diags {
@@ -59,7 +65,7 @@ func checkGolden(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
 		b.WriteByte('\n')
 	}
 	got := b.String()
-	goldenPath := filepath.Join("testdata", fixture+".golden")
+	goldenPath := filepath.Join("testdata", golden+".golden")
 	if *update {
 		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
@@ -77,7 +83,9 @@ func checkGolden(t *testing.T, fixture string, analyzers ...*lint.Analyzer) {
 	// Every positive fixture line is marked "// want:"; the golden file must
 	// reference each of those lines, or a fixture case silently stopped
 	// firing without the golden noticing an edit.
-	assertWantLinesCovered(t, pkgs[0].Dir, l.ModRoot, got)
+	for _, pkg := range pkgs {
+		assertWantLinesCovered(t, pkg.Dir, l.ModRoot, got)
+	}
 }
 
 // assertWantLinesCovered cross-checks the "// want:" markers in fixture
@@ -167,6 +175,102 @@ func TestEngineShareGolden(t *testing.T) {
 
 func TestDirectiveGolden(t *testing.T) {
 	checkGolden(t, "directivefix", lint.NewDeterminism(lint.DeterminismConfig{}))
+}
+
+func TestAckOrderGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/ackorderfix"
+	checkGolden(t, "ackorderfix", lint.NewAckOrder(lint.AckOrderConfig{
+		PkgPrefixes: []string{fixturePath},
+		StoreTypes:  []lint.TypeRef{{Pkg: fixturePath, Name: "WAL"}},
+	}))
+}
+
+func TestErrDropGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/errdropfix"
+	checkGolden(t, "errdropfix", lint.NewErrDrop(lint.ErrDropConfig{
+		StoreTypes:  []lint.TypeRef{{Pkg: fixturePath, Name: "Flash"}},
+		ResultTypes: []lint.TypeRef{{Pkg: fixturePath, Name: "Recovery"}},
+	}))
+}
+
+// TestTransitiveDeterminismGolden restricts only the fixture's engine
+// package and checks the leaks through the unrestricted sched/clock layers
+// are reported with their full call chains.
+func TestTransitiveDeterminismGolden(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/lint/testdata/src/transdetfix/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("got %d packages, want 3 (clock, engine, sched)", len(pkgs))
+	}
+	checkGoldenPkgs(t, "transdetfix", pkgs, lint.NewDeterminism(lint.DeterminismConfig{
+		RestrictedPrefixes: []string{"symfail/internal/lint/testdata/src/transdetfix/engine"},
+	}))
+}
+
+// TestRunDeterministicOrder pins the Run output-order contract: the same
+// packages and analyzers, fed in reversed orders, must render byte-identical
+// diagnostics.
+func TestRunDeterministicOrder(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(
+		"./internal/lint/testdata/src/ackorderfix",
+		"./internal/lint/testdata/src/errdropfix",
+		"./internal/lint/testdata/src/transdetfix/...",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackPath := "symfail/internal/lint/testdata/src/ackorderfix"
+	errPath := "symfail/internal/lint/testdata/src/errdropfix"
+	mkAnalyzers := func() []*lint.Analyzer {
+		return []*lint.Analyzer{
+			lint.NewDeterminism(lint.DeterminismConfig{
+				RestrictedPrefixes: []string{"symfail/internal/lint/testdata/src/transdetfix/engine"},
+			}),
+			lint.NewAckOrder(lint.AckOrderConfig{
+				PkgPrefixes: []string{ackPath},
+				StoreTypes:  []lint.TypeRef{{Pkg: ackPath, Name: "WAL"}},
+			}),
+			lint.NewErrDrop(lint.ErrDropConfig{
+				StoreTypes:  []lint.TypeRef{{Pkg: errPath, Name: "Flash"}},
+				ResultTypes: []lint.TypeRef{{Pkg: errPath, Name: "Recovery"}},
+			}),
+		}
+	}
+	render := func(pkgs []*lint.Package, analyzers []*lint.Analyzer) string {
+		var b strings.Builder
+		for _, d := range lint.Run(pkgs, analyzers) {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	reverse := func(n int, swap func(i, j int)) {
+		for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+			swap(i, j)
+		}
+	}
+
+	forward := render(pkgs, mkAnalyzers())
+	if forward == "" {
+		t.Fatal("fixtures produced no diagnostics; the order test is vacuous")
+	}
+	revPkgs := append([]*lint.Package(nil), pkgs...)
+	reverse(len(revPkgs), func(i, j int) { revPkgs[i], revPkgs[j] = revPkgs[j], revPkgs[i] })
+	revAnalyzers := mkAnalyzers()
+	reverse(len(revAnalyzers), func(i, j int) { revAnalyzers[i], revAnalyzers[j] = revAnalyzers[j], revAnalyzers[i] })
+	if backward := render(revPkgs, revAnalyzers); backward != forward {
+		t.Errorf("diagnostic order depends on input order.\nforward:\n%s\nbackward:\n%s", forward, backward)
+	}
 }
 
 // TestSymlintExitCodes drives the real CLI contract end to end: non-zero

@@ -25,3 +25,28 @@ func TestSymlintSelfCheck(t *testing.T) {
 		t.Errorf("symlint does not pass its own lint: %s", d)
 	}
 }
+
+// TestWholeModuleClean runs the full default suite over every package in
+// the module, mirroring the CI `symlint ./...` gate. It is also the
+// stale-allow audit: Run reports any //symlint:allow directive that no
+// longer suppresses a live diagnostic (pseudo-analyzer "directive"), so an
+// annotation outliving its reason fails here.
+func TestWholeModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow; skipped with -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded; the whole-module gate is not covering the tree", len(pkgs))
+	}
+	for _, d := range lint.Run(pkgs, lint.DefaultAnalyzers()) {
+		t.Errorf("module is not symlint-clean: %s", d)
+	}
+}

@@ -1,0 +1,55 @@
+// Package errdropfix exercises the errdrop analyzer: results of
+// durability-critical calls (payload-bearing store operations, recovery
+// tallies) must not be discarded.
+package errdropfix
+
+// Flash stands in for the phone's flash filesystem.
+type Flash struct{}
+
+func (f *Flash) Append(path string, data []byte) bool { return true }
+func (f *Flash) Write(path string, data []byte) bool  { return true }
+func (f *Flash) Read(path string) ([]byte, bool)      { return nil, false }
+func (f *Flash) Delete(path string)                   {}
+
+// Recovery stands in for the framed-log recovery outcome.
+type Recovery struct {
+	Clean int
+	Lost  int
+}
+
+func RecoverLog(data []byte) Recovery { return Recovery{} }
+
+// persist directly returns a critical call, so the wrapper closure makes
+// it critical too.
+func persist(f *Flash, data []byte) bool {
+	return f.Append("log", data)
+}
+
+// good checks every outcome it provokes.
+func good(f *Flash, data []byte) int {
+	if !f.Append("log", data) {
+		return 0
+	}
+	rec := RecoverLog(data)
+	return rec.Clean
+}
+
+// bad drops outcomes in every flagged form.
+func bad(f *Flash, data []byte) {
+	f.Append("log", data)      // want: bare expression statement
+	_ = f.Write("log", data)   // want: blank assignment
+	go f.Append("log", data)   // want: go statement
+	defer f.Write("log", data) // want: defer statement
+	RecoverLog(data)           // want: dropped recovery tally
+	persist(f, data)           // want: dropped wrapper result
+
+	data2, _ := f.Read("log") // clean: Read carries no payload bytes
+	_ = data2
+	f.Delete("log") // clean: nothing to drop
+}
+
+// allowed demonstrates the reasoned escape hatch.
+func allowed(f *Flash, data []byte) {
+	//symlint:allow errdrop fixture demonstrates a reasoned suppression
+	f.Append("log", data)
+}

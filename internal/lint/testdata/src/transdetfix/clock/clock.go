@@ -1,0 +1,13 @@
+// Package clock is the nondeterminism sink of the transitive-determinism
+// fixture: unrestricted code that reads the wall clock.
+package clock
+
+import "time"
+
+// Wall reads the wall clock; any restricted code reaching it leaks.
+func Wall() int64 { return time.Now().UnixNano() }
+
+// WallTicker implements the engine's Ticker interface with wall time.
+type WallTicker struct{}
+
+func (WallTicker) Tick() int64 { return Wall() }

@@ -1,0 +1,25 @@
+// Package engine is the restricted root of the transitive-determinism
+// fixture: its functions must not reach a nondeterminism source through
+// any chain of calls.
+package engine
+
+import "symfail/internal/lint/testdata/src/transdetfix/sched"
+
+// Ticker abstracts the engine's time source.
+type Ticker interface{ Tick() int64 }
+
+// Step leaks through two intermediate hops: sched.Next -> clock.Wall -> time.Now.
+func Step() int64 { return sched.Next() } // want: transitive leak via sched
+
+// Drive leaks through interface dispatch: the only analyzed implementation
+// of Ticker is clock.WallTicker, which reads the wall clock.
+func Drive(t Ticker) int64 { return t.Tick() } // want: leak via interface over-approximation
+
+// Pure calls only pure unrestricted code; no diagnostic.
+func Pure() int64 { return sched.Deadline(5) }
+
+// Profile demonstrates the reasoned escape hatch for a transitive leak.
+func Profile() int64 {
+	//symlint:allow determinism fixture demonstrates a reasoned transitive suppression
+	return sched.Next()
+}

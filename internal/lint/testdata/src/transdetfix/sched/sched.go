@@ -1,0 +1,12 @@
+// Package sched is the unrestricted middle layer of the
+// transitive-determinism fixture: it looks harmless but forwards into the
+// wall clock.
+package sched
+
+import "symfail/internal/lint/testdata/src/transdetfix/clock"
+
+// Next forwards to the wall clock — the leak the engine must not reach.
+func Next() int64 { return clock.Wall() }
+
+// Deadline is pure; calling it from restricted code is fine.
+func Deadline(d int64) int64 { return d * 2 }
