@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json check chaos chaos-kill fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -38,6 +38,14 @@ chaos:
 # or duplicated (DESIGN.md §10).
 chaos-kill:
 	$(GO) test -race -run 'TestKillAnything' -v .
+
+# The fleet kill-any-subset harness: the collection tier sharded across
+# three servers behind the device-hash router, with RNG-drawn subsets of
+# {shards, router} killed at every crashpoint (handoff and rebalance
+# aborts included), one shard joining and one leaving mid-study — every
+# acknowledged record exactly once, whatever dies (DESIGN.md §13).
+chaos-fleet:
+	$(GO) test -race -run 'TestFleetKillAnything' -v .
 
 # Fuzz the collection server's wire protocol end to end for a short burst
 # (panics and wedged servers fail the run; CI uses the seed corpus only).

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	symfail [-seed N] [-phones N] [-months N] [-workers N] [-tcp] [-quick]
+//	symfail [-seed N] [-phones N] [-months N] [-workers N] [-tcp] [-servers N] [-fleet-kill N] [-quick]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"symfail"
 	"symfail/internal/analysis/stream"
 	"symfail/internal/collect"
+	"symfail/internal/collect/fleet"
 	"symfail/internal/core"
 	"symfail/internal/phone"
 	"symfail/internal/report"
@@ -37,6 +38,8 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "concurrent device shards (0 = GOMAXPROCS, 1 = serial; any value gives byte-identical results)")
 		useTCP     = fs.Bool("tcp", false, "collect logs over a local TCP collection server")
 		serverKill = fs.Int("server-kill", 0, "with -tcp: crash the collection server about every N uploads and recover it from its write-ahead log (0 = no crashes)")
+		servers    = fs.Int("servers", 1, "with -tcp: shard the collection tier across N servers behind a device-hash router (1 = the single durable server)")
+		fleetKill  = fs.Int("fleet-kill", 0, "with -tcp -servers N>1: about every N routed requests, kill an RNG-drawn subset of {shards, router} and recover/hand off (0 = no kills)")
 		quick      = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
 		extras     = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
 		export     = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
@@ -72,6 +75,25 @@ func run(args []string) error {
 			cfg.UploadEvery = 7 * 24 * time.Hour
 		}
 	}
+	if *servers > 1 && !*useTCP {
+		return fmt.Errorf("-servers needs -tcp (the fleet shards the TCP collection tier)")
+	}
+	cfg.Servers = *servers
+	if *fleetKill > 0 {
+		if !*useTCP || *servers <= 1 {
+			return fmt.Errorf("-fleet-kill needs -tcp and -servers > 1 (kills are drawn over the fleet)")
+		}
+		if *serverKill > 0 {
+			return fmt.Errorf("-fleet-kill replaces -server-kill: the fleet supervisor owns the kill schedule")
+		}
+		cfg.Adversity.ServerCrash = collect.CrashFaults{
+			KillEveryMin: (*fleetKill + 1) / 2,
+			KillEveryMax: *fleetKill + (*fleetKill+1)/2,
+		}
+		if cfg.UploadEvery <= 0 {
+			cfg.UploadEvery = 7 * 24 * time.Hour
+		}
+	}
 
 	fmt.Println("=== Section 4: high-level failure characterisation (web forums) ===")
 	fmt.Println()
@@ -94,13 +116,20 @@ func run(args []string) error {
 	start := time.Now()
 	var study *symfail.FieldStudy
 	var sup *collect.Supervisor
+	var fl *fleet.Supervisor
 	var err error
-	if *useTCP {
+	switch {
+	case *useTCP && *servers > 1:
+		study, fl, err = symfail.RunFieldStudyWithFleet(cfg)
+		if err == nil {
+			defer fl.Close()
+		}
+	case *useTCP:
 		study, sup, err = symfail.RunFieldStudyWithCollector(cfg)
 		if err == nil {
 			defer sup.Close()
 		}
-	} else {
+	default:
 		study, err = symfail.RunFieldStudy(cfg)
 	}
 	if err != nil {
@@ -111,6 +140,15 @@ func run(args []string) error {
 	if sup != nil && *serverKill > 0 {
 		fmt.Printf("collection server: %d injected crashes, %d restarts, %d uploads served, %d WAL compactions — zero acknowledged records lost\n\n",
 			sup.Crashes(), sup.Restarts(), sup.Uploads(), sup.Compactions())
+	}
+	if fl != nil {
+		fmt.Printf("collection fleet: %d shards live (epoch %d), %d uploads served\n",
+			fl.Servers(), fl.Epoch(), fl.Uploads())
+		if *fleetKill > 0 || cfg.Adversity.ServerCrash.Enabled() {
+			fmt.Printf("  %d shard crashes, %d restarts, %d router kills, %d handoffs (%d aborted, %d unplaced), %d devices migrated — zero acknowledged records lost\n",
+				fl.Crashes(), fl.Restarts(), fl.RouterKills(), fl.Handoffs(), fl.HandoffAborts(), fl.HandoffFailures(), fl.Migrated())
+		}
+		fmt.Println()
 	}
 	if cfg.Monitor != nil {
 		ms := cfg.Monitor.Snapshot().(*stream.MonitorSnapshot)

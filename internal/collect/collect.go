@@ -19,6 +19,17 @@
 //	client: FIN <device-id>\n
 //	server: OK\n
 //
+//	peer:   HANDOFF <device-id> log|stream <n-bytes> <crc32c-hex>\n  then n raw bytes
+//	server: OK\n on success, ERR <reason>\n otherwise
+//
+// HANDOFF is the server-to-server leg of the sharded collection fleet
+// (see the fleet package): a dying or rebalancing shard replicates one
+// device's merged log ("log") or live chunk stream ("stream") onto a peer.
+// Handoffs go through the same WAL-sync-before-ACK commit path as uploads,
+// so a successful handoff is the same durable promise, and merging stays
+// idempotent — a handoff re-sent after a lost acknowledgement, or of data
+// the peer already holds, never duplicates records.
+//
 // UPLOAD is the legacy full-file transfer (still used for the final
 // collection at study end). CHUNK appends to a per-device server-side
 // stream at a client-stated offset, which is what makes uploads resumable:
@@ -228,6 +239,7 @@ type Server struct {
 	// owns the state from then on.
 	dead        bool
 	compactions int
+	handoffs    int
 
 	// streams holds the per-device chunk streams (the raw bytes the
 	// device has pushed so far) and ackedKeys the serialized form of
@@ -346,7 +358,7 @@ func (s *Server) handle(conn net.Conn) {
 		// The supervisor counts recognised requests to schedule its next
 		// injected kill. Called with no locks held.
 		switch fields[0] {
-		case "UPLOAD", "CHUNK", "OFFSET", "FIN":
+		case "UPLOAD", "CHUNK", "OFFSET", "FIN", "HANDOFF":
 			s.cfg.monitor.beginRequest(s)
 		}
 	}
@@ -359,6 +371,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleOffset(conn, fields)
 	case "FIN":
 		s.handleFin(conn, fields)
+	case "HANDOFF":
+		s.handleHandoff(conn, r, fields)
 	default:
 		fmt.Fprint(conn, "ERR bad header\n")
 	}
@@ -495,6 +509,101 @@ func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 		s.mu.Unlock()
 	}
 	fmt.Fprintf(conn, "OK %d\n", len(stream))
+}
+
+// HandoffKind values accepted by the HANDOFF verb.
+const (
+	// HandoffLog replicates a device's merged log — the payload merges into
+	// the dataset like an UPLOAD.
+	HandoffLog = "log"
+	// HandoffStream replicates a device's live chunk stream so the uploader
+	// can keep CHUNKing at its acknowledged offset against the new shard. A
+	// server that already has a non-empty stream for the device keeps its
+	// own (the uploader is already mid-conversation with it; the sender
+	// retains its copy, so skipping the install loses nothing).
+	HandoffStream = "stream"
+)
+
+// handleHandoff accepts one device's replicated state from a peer server.
+// Like UPLOAD, the payload is WAL-logged and synced before the OK goes on
+// the wire, and its records join this server's acked ledger: once a peer
+// has been told OK, the records are this shard's durable responsibility.
+func (s *Server) handleHandoff(conn net.Conn, r *bufio.Reader, fields []string) {
+	if len(fields) != 5 {
+		fmt.Fprint(conn, "ERR bad header\n")
+		return
+	}
+	id, kind := fields[1], fields[2]
+	if kind != HandoffLog && kind != HandoffStream {
+		fmt.Fprint(conn, "ERR bad handoff kind\n")
+		return
+	}
+	size, err := strconv.Atoi(fields[3])
+	if err != nil || size < 0 || size > MaxUploadBytes {
+		fmt.Fprint(conn, "ERR bad size\n")
+		return
+	}
+	crc, err := strconv.ParseUint(fields[4], 16, 32)
+	if err != nil {
+		fmt.Fprint(conn, "ERR bad checksum\n")
+		return
+	}
+	data, err := readBody(r, size, uint32(crc))
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	s.mu.Lock()
+	if s.dead {
+		s.mu.Unlock()
+		return
+	}
+	if kind == HandoffStream && len(s.streams[id]) > 0 {
+		// Nothing committed, nothing to WAL: the live stream outranks the
+		// replicated copy (see HandoffStream).
+		s.mu.Unlock()
+		fmt.Fprint(conn, "OK\n")
+		return
+	}
+	op := opHandoff
+	if kind == HandoffStream {
+		op = opHandoffStream
+	}
+	if !s.commitLocked(walEntry{Op: op, Dev: id, Data: data}) {
+		return
+	}
+	s.handoffs++
+	if kind == HandoffStream {
+		s.streams[id] = append([]byte(nil), data...)
+	}
+	s.recordAckedLocked(id, data)
+	s.ds.PutMerged(id, data)
+	if s.maybeCompactLocked() {
+		return
+	}
+	diedAfterAck := s.crashAtLocked(CrashAfterAck)
+	if !diedAfterAck {
+		s.mu.Unlock()
+	}
+	fmt.Fprint(conn, "OK\n")
+}
+
+// Handoffs returns the peer handoffs this incarnation accepted.
+func (s *Server) Handoffs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handoffs
+}
+
+// Stream returns a copy of a device's live chunk stream, if present.
+func (s *Server) Stream(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[id]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), st...), true
 }
 
 // handleOffset reports how much of the device's stream the server holds.
@@ -703,6 +812,42 @@ func Upload(addr, deviceID string, data []byte) error {
 	reply = strings.TrimSpace(reply)
 	if reply != "OK" {
 		return fmt.Errorf("collect: server rejected upload: %s", reply)
+	}
+	return nil
+}
+
+// Handoff replicates one device's state (kind HandoffLog or HandoffStream)
+// onto the collection server at addr — the server-to-server leg of fleet
+// crash handoff and rebalancing. The receiving server WAL-logs and syncs
+// the payload before its OK, so a nil return is the same durable promise an
+// upload acknowledgement is.
+func Handoff(addr, deviceID, kind string, data []byte) error {
+	if len(data) > MaxUploadBytes {
+		return ErrTooLarge
+	}
+	if kind != HandoffLog && kind != HandoffStream {
+		return fmt.Errorf("collect: invalid handoff kind %q", kind)
+	}
+	if strings.ContainsAny(deviceID, " \n\t") || deviceID == "" {
+		return fmt.Errorf("collect: invalid device id %q", deviceID)
+	}
+	conn, err := dialCollect(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "HANDOFF %s %s %d %08x\n", deviceID, kind, len(data), crc32.Checksum(data, castagnoli)); err != nil {
+		return fmt.Errorf("collect: send header: %w", err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("collect: send body: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("collect: read reply: %w", err)
+	}
+	if reply = strings.TrimSpace(reply); reply != "OK" {
+		return fmt.Errorf("collect: server rejected handoff: %s", reply)
 	}
 	return nil
 }

@@ -1,0 +1,863 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"symfail/internal/collect"
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+// Config calibrates a collection fleet.
+type Config struct {
+	// Servers is the initial shard count. 1 degenerates to exactly the
+	// single-supervisor collector of PR 4: same construction, same RNG
+	// consumption, no router in the path.
+	Servers int
+	// MaxStreamBytes / CompactEvery pass through to every shard's
+	// SupervisorConfig.
+	MaxStreamBytes int
+	CompactEvery   int
+	// Crash schedules fleet-level kills: every KillEveryMin..KillEveryMax
+	// routed requests a non-empty RNG-drawn subset of {shards..., router}
+	// dies. Requires Rng when enabled.
+	Crash collect.CrashFaults
+	// Rng drives the kill schedule, subset draws, crashpoint draws, handoff
+	// and rebalance abort cuts, and (via Split children) every shard store's
+	// torn-tail lengths. Salt it off the study seed (collectorSeedSalt) so
+	// fleet adversity never perturbs device streams.
+	Rng *sim.Rand
+	// OnRecord taps every acknowledged record on every shard. Calls are
+	// serialised across shards under a fleet-level mutex; the same
+	// at-least-once delivery caveats as ServerConfig.OnRecord apply.
+	OnRecord func(deviceID string, r core.Record)
+	// JoinAfter, when >0, adds one shard to the fleet after that many routed
+	// requests (a mid-study scale-up with live rebalancing). LeaveAfter,
+	// when >0, retires one shard after that many routed requests (draining
+	// its devices to the survivors first). Both are one-shot and need
+	// Servers > 1 (the degenerate fleet has no router to count requests).
+	JoinAfter  int
+	LeaveAfter int
+}
+
+// member is one shard: a supervised durable server with its own dataset and
+// crash store. Members are never removed from the slice — a departed shard
+// keeps live=false and its supervisor keeps answering the accounting and
+// acked-ledger queries, so nothing it ever acknowledged can silently drop
+// out of the invariant checks or the merged dataset.
+type member struct {
+	name  string
+	sup   *collect.Supervisor
+	ds    *collect.Dataset
+	store *collect.CrashStore
+	live  bool
+	// armedAt is the routed-request count when a fleet kill was armed on
+	// this shard, for the stall-repoint window.
+	armedAt int
+}
+
+// target is a replication destination snapshot (taken under the fleet
+// mutex, used after it is released).
+type target struct {
+	name, addr string
+}
+
+// fleetRepointWindow mirrors the single-supervisor repointWindow: an armed
+// kill that waits longer than this many routed requests for its crashpoint
+// is repointed at the commit path so injection cannot stall on a shard that
+// never compacts.
+const fleetRepointWindow = 16
+
+// Supervisor owns a sharded collection fleet across injected crashes: N
+// supervised shards behind a device-hash router, fleet-level kill-subset
+// injection, crash handoff from dying shards to surviving peers, and live
+// join/leave rebalancing. The lifted PR 4 invariant it exists to defend:
+// every record any incarnation of any shard ever acknowledged appears
+// exactly once in the merged dataset.
+type Supervisor struct {
+	cfg  Config
+	addr string
+
+	// single is the Servers==1 degenerate path: one plain collect.Supervisor,
+	// no router, no fleet-level machinery — byte-identical to PR 4.
+	single   *collect.Supervisor
+	singleDS *collect.Dataset
+
+	tapMu sync.Mutex
+
+	mu             sync.Mutex
+	rng            *sim.Rand
+	members        []*member
+	router         *Router
+	epoch          int
+	disarmed       bool
+	requests       int
+	untilKill      int
+	joinDone       bool
+	leaveDone      bool
+	routerKills    int
+	routerRestarts int
+	handoffs       int
+	handoffFails   int
+	aborted        int
+	rebalances     int
+	migrated       int
+	abortHandoff   map[*member]bool
+	abortRebalance bool
+	lastErr        error
+}
+
+// New starts a fleet. Servers==1 builds the exact single-server collector
+// (no router); Servers>1 builds the shards serially — store RNGs split off
+// cfg.Rng in shard order, so the layout is a pure function of the seed —
+// then binds the router in front of them.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Servers < 1 {
+		return nil, errors.New("fleet: need at least one server")
+	}
+	if cfg.Crash.Enabled() && cfg.Rng == nil {
+		return nil, errors.New("fleet: crash injection needs a sim.Rand")
+	}
+	if cfg.Servers == 1 {
+		if cfg.JoinAfter > 0 || cfg.LeaveAfter > 0 {
+			return nil, errors.New("fleet: join/leave needs Servers > 1")
+		}
+		ds := collect.NewDataset()
+		sup, err := collect.NewSupervisor("127.0.0.1:0", ds, collect.SupervisorConfig{
+			MaxStreamBytes: cfg.MaxStreamBytes,
+			CompactEvery:   cfg.CompactEvery,
+			Crash:          cfg.Crash,
+			Rng:            cfg.Rng,
+			OnRecord:       cfg.OnRecord,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Supervisor{cfg: cfg, single: sup, singleDS: ds, addr: sup.Addr()}, nil
+	}
+	f := &Supervisor{
+		cfg:          cfg,
+		rng:          cfg.Rng,
+		abortHandoff: make(map[*member]bool),
+	}
+	fail := func(err error) (*Supervisor, error) {
+		for _, m := range f.members {
+			_ = m.sup.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		m, err := f.newMemberLocked()
+		if err != nil {
+			return fail(err)
+		}
+		f.members = append(f.members, m)
+	}
+	rt, err := newRouter("127.0.0.1:0", f.route, f.beginRequest)
+	if err != nil {
+		return fail(err)
+	}
+	f.router = rt
+	f.addr = rt.Addr() // pinned: router restarts rebind this address
+	if cfg.Crash.Enabled() {
+		f.mu.Lock()
+		f.drawKillLocked()
+		f.mu.Unlock()
+	}
+	return f, nil
+}
+
+// newMemberLocked builds one shard (fresh store, fresh dataset, supervised
+// server). Fleet kills arrive via InjectKill, so the shard's own crash
+// schedule stays disabled — its supervisor never draws from any RNG.
+func (f *Supervisor) newMemberLocked() (*member, error) {
+	name := fmt.Sprintf("shard-%02d", len(f.members)+1)
+	var storeRng *sim.Rand
+	if f.rng != nil {
+		storeRng = f.rng.Split()
+	}
+	m := &member{
+		name:  name,
+		ds:    collect.NewDataset(),
+		store: collect.NewCrashStore(storeRng),
+		live:  true,
+	}
+	scfg := collect.SupervisorConfig{
+		MaxStreamBytes: f.cfg.MaxStreamBytes,
+		CompactEvery:   f.cfg.CompactEvery,
+		Store:          m.store,
+		OnCrash:        func() { f.shardCrashed(m) },
+	}
+	if f.cfg.OnRecord != nil {
+		scfg.OnRecord = f.tap
+	}
+	sup, err := collect.NewSupervisor("127.0.0.1:0", m.ds, scfg)
+	if err != nil {
+		return nil, err
+	}
+	m.sup = sup
+	return m, nil
+}
+
+// tap serialises the shards' record taps onto the caller's OnRecord: with
+// one server the handlers already serialise per connection under the server
+// mutex, but N shards acknowledge concurrently.
+func (f *Supervisor) tap(deviceID string, r core.Record) {
+	f.tapMu.Lock()
+	defer f.tapMu.Unlock()
+	f.cfg.OnRecord(deviceID, r)
+}
+
+// Addr returns the fleet's client-facing address (the router's, pinned
+// across router kills; the lone server's on the degenerate path).
+func (f *Supervisor) Addr() string { return f.addr }
+
+// route resolves a device to its owning live shard's address under the
+// current epoch (the router's routing callback).
+func (f *Supervisor) route(deviceID string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.ownerLocked(deviceID)
+	if m == nil {
+		return "", false
+	}
+	return m.sup.Addr(), true
+}
+
+// ownerLocked is rendezvous hashing over the live members (see Owner).
+func (f *Supervisor) ownerLocked(deviceID string) *member {
+	var best *member
+	var bestScore uint64
+	for _, m := range f.members {
+		if !m.live {
+			continue
+		}
+		s := rendezvousScore(deviceID, m.name)
+		if best == nil || s > bestScore || (s == bestScore && m.name < best.name) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+func (f *Supervisor) liveLocked() []*member {
+	var out []*member
+	for _, m := range f.members {
+		if m.live {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// targetsLocked snapshots the live replication destinations other than m.
+func (f *Supervisor) targetsLocked(not *member) []target {
+	var out []target
+	for _, m := range f.members {
+		if m.live && m != not {
+			out = append(out, target{name: m.name, addr: m.sup.Addr()})
+		}
+	}
+	return out
+}
+
+// beginRequest is the router's per-request hook. It advances the fleet kill
+// countdown, fires drawn kill subsets, repoints stalled shard kills, and
+// triggers the one-shot join/leave rebalances. Returns whether the router
+// itself was drawn into this request's kill subset — in which case the old
+// router is already dead and a fresh one is listening on the pinned address
+// by the time this returns.
+func (f *Supervisor) beginRequest() bool {
+	var doJoin, doLeave, routerDies bool
+	f.mu.Lock()
+	if f.disarmed {
+		f.mu.Unlock()
+		return false
+	}
+	f.requests++
+	if f.cfg.JoinAfter > 0 && !f.joinDone && f.requests >= f.cfg.JoinAfter {
+		f.joinDone = true
+		doJoin = true
+	}
+	if f.cfg.LeaveAfter > 0 && !f.leaveDone && f.requests >= f.cfg.LeaveAfter {
+		f.leaveDone = true
+		doLeave = true
+	}
+	if f.cfg.Crash.Enabled() {
+		for _, m := range f.members {
+			// A kill armed for a crashpoint a quiet shard never reaches
+			// (compaction, mostly) would wait forever; repoint it at the
+			// commit path, like the single supervisor's repointWindow.
+			if m.live && m.sup.KillArmed() && f.requests-m.armedAt > fleetRepointWindow {
+				if m.sup.RepointKill(collect.CrashBeforeWALSync) {
+					m.armedAt = f.requests
+				}
+			}
+		}
+		f.untilKill--
+		if f.untilKill <= 0 {
+			routerDies = f.fireKillsLocked()
+			f.drawKillLocked()
+		}
+	}
+	f.mu.Unlock()
+	if doJoin {
+		if err := f.Join(); err != nil {
+			f.setErr(err)
+		}
+	}
+	if doLeave {
+		if err := f.Leave(); err != nil {
+			f.setErr(err)
+		}
+	}
+	if routerDies {
+		f.restartRouter()
+	}
+	return routerDies
+}
+
+// drawKillLocked schedules the next fleet kill countdown.
+func (f *Supervisor) drawKillLocked() {
+	lo, hi := f.cfg.Crash.KillEveryMin, f.cfg.Crash.KillEveryMax
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	f.untilKill = lo + f.rng.Intn(hi-lo+1)
+}
+
+// fireKillsLocked draws a non-empty subset of {live shards..., router} and
+// kills it. Shard kills are armed at a drawn crashpoint out of the five
+// server-level points plus two fleet-level ones: "during handoff" (the
+// shard dies at the commit path and its own crash handoff is then cut short
+// partway, as if the dying process lost its failover race too) and "during
+// rebalance" (the next join/leave migration aborts partway through its
+// plan). Simultaneous kills — several shards, shards plus the router — are
+// one mask draw, so they genuinely overlap.
+func (f *Supervisor) fireKillsLocked() (routerDies bool) {
+	live := f.liveLocked()
+	bits := len(live) + 1 // the +1 bit is the router itself
+	mask := 1 + f.rng.Intn((1<<bits)-1)
+	for i, m := range live {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		k := f.rng.Intn(collect.NumCrashpoints + 2)
+		switch {
+		case k < collect.NumCrashpoints:
+			if m.sup.InjectKill(collect.Crashpoint(k)) {
+				m.armedAt = f.requests
+			}
+		case k == collect.NumCrashpoints:
+			// During-handoff crashpoint: kill at the commit path, then cut
+			// the dying shard's handoff short after a drawn prefix.
+			f.abortHandoff[m] = true
+			if m.sup.InjectKill(collect.CrashBeforeWALSync) {
+				m.armedAt = f.requests
+			}
+		default:
+			// During-rebalance crashpoint: the next join/leave migration
+			// stops partway through its plan.
+			f.abortRebalance = true
+		}
+	}
+	if mask&(1<<len(live)) != 0 {
+		routerDies = true
+		f.routerKills++
+	}
+	return routerDies
+}
+
+// shardCrashed is every shard's OnCrash hook: it runs on the dying
+// incarnation's goroutine in the window where the store holds the dead
+// shard's synced state and no replacement is listening. It recovers the
+// store read-only-in-effect (recovery normalises the medium, which is
+// exactly what the restart's own recovery would do — the double recovery is
+// byte-identical and write-free) and replicates the acked state to the
+// surviving peers.
+//
+// Handoff is replication, not movement: the source WAL and dataset keep
+// everything, so an aborted or failed handoff can lose nothing — the worst
+// case is the same record reaching the merge from two shards, which the
+// canonical merge deduplicates.
+func (f *Supervisor) shardCrashed(m *member) {
+	files, _ := collect.RecoverState(m.store)
+	f.mu.Lock()
+	if f.disarmed || !m.live || len(files) == 0 {
+		delete(f.abortHandoff, m)
+		f.mu.Unlock()
+		return
+	}
+	targets := f.targetsLocked(m)
+	devs := sortedKeys(files)
+	cut := len(devs)
+	if f.abortHandoff[m] {
+		delete(f.abortHandoff, m)
+		cut = f.rng.Intn(len(devs))
+		f.aborted++
+	}
+	f.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	for _, dev := range devs[:cut] {
+		f.replicate(dev, collect.HandoffLog, files[dev], targets)
+	}
+}
+
+// replicate hands one device's bytes to the first target that takes them,
+// preferring the device's rendezvous owner. A peer may itself be
+// mid-restart (simultaneous kills), so each candidate gets bounded retries;
+// when every candidate refuses, the failure is counted and abandoned —
+// safe, because handoff is replication and the source keeps its copy.
+func (f *Supervisor) replicate(dev, kind string, data []byte, targets []target) bool {
+	ordered := append([]target(nil), targets...)
+	sort.Slice(ordered, func(i, j int) bool {
+		si, sj := rendezvousScore(dev, ordered[i].name), rendezvousScore(dev, ordered[j].name)
+		if si != sj {
+			return si > sj
+		}
+		return ordered[i].name < ordered[j].name
+	})
+	for _, t := range ordered {
+		for attempt := 0; attempt < 3; attempt++ {
+			if attempt > 0 {
+				// Host-time pause while a real TCP peer rebinds; never
+				// observable by the simulation.
+				//symlint:allow determinism host-time backoff towards a real restarting TCP peer
+				time.Sleep(time.Duration(attempt*attempt) * 2 * time.Millisecond)
+			}
+			if collect.Handoff(t.addr, dev, kind, data) == nil {
+				f.mu.Lock()
+				f.handoffs++
+				f.mu.Unlock()
+				return true
+			}
+		}
+	}
+	f.mu.Lock()
+	f.handoffFails++
+	f.mu.Unlock()
+	return false
+}
+
+// Join adds one shard mid-study and rebalances: the epoch bumps first (new
+// requests for stolen devices route to the joiner immediately; uploaders
+// renegotiate through OFFSET when their stream is elsewhere), then every
+// device whose rendezvous owner moved to the joiner has its merged log —
+// and live chunk stream, if any — replicated over. The donors keep their
+// copies (replication, not movement), a deliberate over-approximation that
+// makes an aborted rebalance safe by construction.
+func (f *Supervisor) Join() error {
+	f.mu.Lock()
+	if f.single != nil {
+		f.mu.Unlock()
+		return errors.New("fleet: cannot join a single-server fleet")
+	}
+	if f.disarmed {
+		f.mu.Unlock()
+		return errors.New("fleet: closed")
+	}
+	joiner, err := f.newMemberLocked()
+	if err != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: join: %w", err)
+	}
+	donors := f.liveLocked()
+	f.members = append(f.members, joiner)
+	f.epoch++
+	f.rebalances++
+	names := make([]string, 0, len(donors)+1)
+	for _, m := range donors {
+		names = append(names, m.name)
+	}
+	names = append(names, joiner.name)
+	type planEntry struct {
+		dev  string
+		from *member
+	}
+	var plan []planEntry
+	for _, m := range donors {
+		for _, dev := range m.ds.Devices() {
+			if owner, ok := Owner(dev, names); ok && owner == joiner.name {
+				plan = append(plan, planEntry{dev: dev, from: m})
+			}
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].dev < plan[j].dev })
+	cut := len(plan)
+	if f.abortRebalance && len(plan) > 0 {
+		f.abortRebalance = false
+		cut = f.rng.Intn(len(plan))
+		f.aborted++
+	}
+	dst := []target{{name: joiner.name, addr: joiner.sup.Addr()}}
+	f.mu.Unlock()
+	for _, p := range plan[:cut] {
+		data, ok := p.from.ds.Get(p.dev)
+		if !ok {
+			continue
+		}
+		if !f.replicate(p.dev, collect.HandoffLog, data, dst) {
+			continue
+		}
+		if stream, ok := p.from.sup.Stream(p.dev); ok && len(stream) > 0 {
+			f.replicate(p.dev, collect.HandoffStream, stream, dst)
+		}
+		f.mu.Lock()
+		f.migrated++
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// Leave retires the longest-serving live shard mid-study. It drains first,
+// while the leaver is still routable — every device's merged log and live
+// stream replicate to its post-leave rendezvous owner — then flips the
+// shard dead, bumps the epoch and closes its supervisor. Records that
+// arrive mid-drain land in the leaver's dataset and stay there: departed
+// shards' datasets are retained by the merge, so the drain/arrival race
+// cannot lose acknowledged data.
+func (f *Supervisor) Leave() error {
+	f.mu.Lock()
+	if f.single != nil {
+		f.mu.Unlock()
+		return errors.New("fleet: cannot leave a single-server fleet")
+	}
+	if f.disarmed {
+		f.mu.Unlock()
+		return errors.New("fleet: closed")
+	}
+	live := f.liveLocked()
+	if len(live) < 2 {
+		f.mu.Unlock()
+		return errors.New("fleet: leave needs at least two live shards")
+	}
+	leaver := live[0]
+	survivors := live[1:]
+	names := make([]string, 0, len(survivors))
+	targets := make([]target, 0, len(survivors))
+	for _, m := range survivors {
+		names = append(names, m.name)
+		targets = append(targets, target{name: m.name, addr: m.sup.Addr()})
+	}
+	plan := leaver.ds.Devices()
+	sort.Strings(plan)
+	cut := len(plan)
+	if f.abortRebalance && len(plan) > 0 {
+		f.abortRebalance = false
+		cut = f.rng.Intn(len(plan))
+		f.aborted++
+	}
+	f.rebalances++
+	f.mu.Unlock()
+	for _, dev := range plan[:cut] {
+		data, ok := leaver.ds.Get(dev)
+		if !ok {
+			continue
+		}
+		if !f.replicate(dev, collect.HandoffLog, data, targets) {
+			continue
+		}
+		if stream, ok := leaver.sup.Stream(dev); ok && len(stream) > 0 {
+			f.replicate(dev, collect.HandoffStream, stream, targets)
+		}
+		f.mu.Lock()
+		f.migrated++
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	leaver.live = false
+	f.epoch++
+	f.mu.Unlock()
+	// The leaver may be mid-crash, its listener already torn down by the
+	// kill — an already-closed connection is not a failure of the leave.
+	_ = leaver.sup.Close()
+	return nil
+}
+
+// restartRouter replaces a killed router on the pinned address. Runs on the
+// doomed request's handler goroutine, synchronously — by the time the
+// killing request returns, clients dialing the fleet address reach the new
+// incarnation (their in-flight requests died unanswered, like any crash).
+func (f *Supervisor) restartRouter() {
+	f.mu.Lock()
+	old := f.router
+	f.mu.Unlock()
+	if old != nil {
+		old.kill()
+	}
+	var rt *Router
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			// Host-time pause for the dead listener's port to free up.
+			//symlint:allow determinism host-time pause rebinding a real TCP listener
+			time.Sleep(time.Duration(attempt) * time.Millisecond)
+		}
+		rt, err = newRouter(f.addr, f.route, f.beginRequest)
+		if err == nil {
+			break
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		f.lastErr = fmt.Errorf("fleet: router restart: %w", err)
+		f.router = nil
+		return
+	}
+	if f.disarmed {
+		go rt.Close() // Close raced the restart; do not leak the new router
+		f.router = nil
+		return
+	}
+	f.router = rt
+	f.routerRestarts++
+}
+
+func (f *Supervisor) setErr(err error) {
+	f.mu.Lock()
+	if f.lastErr == nil {
+		f.lastErr = err
+	}
+	f.mu.Unlock()
+}
+
+// MergedDataset folds every shard's dataset — live and departed — into one
+// canonical dataset: the fleet-wide view a study analysis runs over. The
+// union over all members is what makes the over-approximations (handoff as
+// replication, drain races, retained departed datasets) correct: a record
+// may exist on several shards, but the canonical merge emits it exactly
+// once.
+func (f *Supervisor) MergedDataset() *collect.Dataset {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return f.singleDS
+	}
+	out := collect.NewDataset()
+	for _, m := range f.members {
+		for _, dev := range m.ds.Devices() {
+			if data, ok := m.ds.Get(dev); ok {
+				out.PutMerged(dev, data)
+			}
+		}
+	}
+	return out
+}
+
+// Err returns the first fleet-level failure (router restart, rebalance) or
+// any shard supervisor's restart failure.
+func (f *Supervisor) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return f.single.Err()
+	}
+	if f.lastErr != nil {
+		return f.lastErr
+	}
+	for _, m := range f.members {
+		if err := m.sup.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close disarms the fleet, shuts the router down (waiting for in-flight
+// handlers) and closes every live shard.
+func (f *Supervisor) Close() error {
+	f.mu.Lock()
+	f.disarmed = true
+	single := f.single
+	rt := f.router
+	f.router = nil
+	members := append([]*member(nil), f.members...)
+	f.mu.Unlock()
+	if single != nil {
+		return single.Close()
+	}
+	if rt != nil {
+		_ = rt.Close()
+	}
+	var first error
+	for _, m := range members {
+		if m.live {
+			if err := m.sup.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Servers returns the live shard count (1 on the degenerate path).
+func (f *Supervisor) Servers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return 1
+	}
+	return len(f.liveLocked())
+}
+
+// Epoch returns the membership epoch (bumped by every join and leave).
+func (f *Supervisor) Epoch() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Members returns every member name ever admitted, live first then
+// departed, each sorted — the fuzz corpus and tests key off these.
+func (f *Supervisor) Members() (live, departed []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range f.members {
+		if m.live {
+			live = append(live, m.name)
+		} else {
+			departed = append(departed, m.name)
+		}
+	}
+	sort.Strings(live)
+	sort.Strings(departed)
+	return live, departed
+}
+
+// Crashes sums injected kills fired across every shard.
+func (f *Supervisor) Crashes() int { return f.sum((*collect.Supervisor).Crashes) }
+
+// Restarts sums successful shard restarts.
+func (f *Supervisor) Restarts() int { return f.sum((*collect.Supervisor).Restarts) }
+
+// Uploads sums successful uploads served across every shard and incarnation.
+func (f *Supervisor) Uploads() int { return f.sum((*collect.Supervisor).Uploads) }
+
+// Compactions sums snapshot compactions across every shard and incarnation.
+func (f *Supervisor) Compactions() int { return f.sum((*collect.Supervisor).Compactions) }
+
+// ServerHandoffs sums the HANDOFF verbs accepted across every shard — the
+// receiving side of crash handoffs and rebalance migrations.
+func (f *Supervisor) ServerHandoffs() int { return f.sum((*collect.Supervisor).Handoffs) }
+
+func (f *Supervisor) sum(get func(*collect.Supervisor) int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return get(f.single)
+	}
+	n := 0
+	for _, m := range f.members {
+		n += get(m.sup)
+	}
+	return n
+}
+
+// RouterKills returns how many times the router was drawn into a kill
+// subset; RouterRestarts how many replacement routers came up.
+func (f *Supervisor) RouterKills() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.routerKills
+}
+
+// RouterRestarts returns the number of successful router rebinds.
+func (f *Supervisor) RouterRestarts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.routerRestarts
+}
+
+// Handoffs returns successful fleet-side replications (crash handoffs and
+// rebalance migrations, per device payload); HandoffFailures the
+// replications abandoned after every candidate refused; HandoffAborts the
+// handoffs/rebalances cut short by the fleet-level crashpoints.
+func (f *Supervisor) Handoffs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.handoffs
+}
+
+// HandoffFailures returns replications abandoned with no willing peer.
+func (f *Supervisor) HandoffFailures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.handoffFails
+}
+
+// HandoffAborts returns handoffs and rebalances cut short partway by the
+// during-handoff / during-rebalance crashpoints.
+func (f *Supervisor) HandoffAborts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.aborted
+}
+
+// Migrated returns devices whose state was replicated by join/leave
+// rebalancing.
+func (f *Supervisor) Migrated() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.migrated
+}
+
+// Rebalances returns completed join/leave operations.
+func (f *Supervisor) Rebalances() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rebalances
+}
+
+// AckedKeys unions the serialized form of every record any incarnation of
+// any shard ever acknowledged for a device — the fleet-wide ground truth
+// for the no-acknowledged-data-loss invariant.
+func (f *Supervisor) AckedKeys(id string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return f.single.AckedKeys(id)
+	}
+	set := make(map[string]bool)
+	for _, m := range f.members {
+		for _, k := range m.sup.AckedKeys(id) {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AckedDevices unions every device any shard ever acknowledged records for.
+func (f *Supervisor) AckedDevices() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return f.single.AckedDevices()
+	}
+	set := make(map[string]bool)
+	for _, m := range f.members {
+		for _, id := range m.sup.AckedDevices() {
+			set[id] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

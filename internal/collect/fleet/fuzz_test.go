@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRouter fuzzes the device-ID → shard mapping for the properties the
+// fleet's correctness rides on:
+//
+//   - the owner is always drawn from the member list, deterministically —
+//     within one epoch a device can never map to two live shards;
+//   - a join moves a device only onto the joiner (rendezvous minimal
+//     disruption): every device keeps its owner or is stolen by the new
+//     member, never reshuffled between survivors;
+//   - a leave moves only the leaver's devices: removing a non-owner leaves
+//     the owner untouched.
+//
+// The corpus is seeded with the golden fingerprints' device IDs (phone-01
+// through phone-06 cover the adversity and chaos studies' fleets).
+func FuzzRouter(f *testing.F) {
+	for i := 1; i <= 6; i++ {
+		f.Add(fmt.Sprintf("phone-%02d", i), uint8(3))
+	}
+	f.Add("", uint8(0))
+	f.Add("phone-01", uint8(255))
+
+	f.Fuzz(func(t *testing.T, dev string, n uint8) {
+		k := 1 + int(n)%7
+		members := make([]string, 0, k)
+		for i := 0; i < k; i++ {
+			members = append(members, fmt.Sprintf("shard-%02d", i+1))
+		}
+
+		owner, ok := Owner(dev, members)
+		if !ok {
+			t.Fatalf("no owner among %d members", k)
+		}
+		valid := false
+		for _, m := range members {
+			valid = valid || m == owner
+		}
+		if !valid {
+			t.Fatalf("owner %q not in member list %v", owner, members)
+		}
+		if again, _ := Owner(dev, members); again != owner {
+			t.Fatalf("owner flapped within one epoch: %q then %q", owner, again)
+		}
+
+		// Epoch bump, join: the only legal move is onto the joiner.
+		joiner := fmt.Sprintf("shard-%02d", k+1)
+		afterJoin, _ := Owner(dev, append(append([]string(nil), members...), joiner))
+		if afterJoin != owner && afterJoin != joiner {
+			t.Fatalf("join of %s reshuffled %q between survivors: %q -> %q",
+				joiner, dev, owner, afterJoin)
+		}
+
+		// Epoch bump, leave of a non-owner: the owner must not move.
+		if k > 1 {
+			survivors := make([]string, 0, k-1)
+			removed := false
+			for _, m := range members {
+				if !removed && m != owner {
+					removed = true
+					continue
+				}
+				survivors = append(survivors, m)
+			}
+			afterLeave, _ := Owner(dev, survivors)
+			if afterLeave != owner {
+				t.Fatalf("leave of a non-owner moved %q: %q -> %q", dev, owner, afterLeave)
+			}
+		}
+	})
+}

@@ -43,6 +43,13 @@ const (
 	numCrashpoints
 )
 
+// NumCrashpoints is the number of server-level crashpoints, exported for
+// the fleet supervisor: its per-shard kill draws cover these five plus its
+// own fleet-level points (handoff and rebalance aborts) without changing
+// this enum — extending the enum would shift every existing crashpoint
+// draw and silently re-seed the pinned server-crash golden.
+const NumCrashpoints = int(numCrashpoints)
+
 // String names the crashpoint for logs and experiment tables.
 func (p Crashpoint) String() string {
 	switch p {
@@ -95,6 +102,14 @@ type SupervisorConfig struct {
 	// re-sent records fire the tap again — consumers must be order- and
 	// duplicate-tolerant.
 	OnRecord func(deviceID string, r core.Record)
+	// OnCrash, when set, runs after an injected kill has been harvested but
+	// before the replacement server is constructed — the window in which a
+	// real operator would fail the dead shard's data over to a peer. It runs
+	// on the dying incarnation's goroutine with no supervisor locks held, so
+	// it may read the store (RecoverState) and talk to other servers; it
+	// must not call back into this supervisor's request path. Not invoked
+	// when the supervisor is already disarmed (shutdown).
+	OnCrash func()
 }
 
 // Supervisor owns a durable collection server across injected crashes: it
@@ -118,6 +133,7 @@ type Supervisor struct {
 
 	mu            sync.Mutex
 	rng           *sim.Rand
+	onCrash       func()
 	disarmed      bool
 	untilKill     int
 	point         Crashpoint
@@ -127,6 +143,7 @@ type Supervisor struct {
 	pointHits     [numCrashpoints]int
 	uploadsBefore int
 	compactBefore int
+	handoffBefore int
 	ackedBefore   map[string]map[string]bool
 	lastErr       error
 }
@@ -141,6 +158,7 @@ func NewSupervisor(addr string, ds *Dataset, cfg SupervisorConfig) (*Supervisor,
 		ds:          ds,
 		crash:       cfg.Crash,
 		rng:         cfg.Rng,
+		onCrash:     cfg.OnCrash,
 		ackedBefore: make(map[string]map[string]bool),
 	}
 	sup.store = cfg.Store
@@ -259,6 +277,29 @@ func (s *Supervisor) Compactions() int {
 	return n
 }
 
+// Handoffs returns the peer handoffs accepted across every incarnation.
+func (s *Supervisor) Handoffs() int {
+	srv := s.cur.Load()
+	s.mu.Lock()
+	n := s.handoffBefore
+	s.mu.Unlock()
+	if srv != nil {
+		n += srv.Handoffs()
+	}
+	return n
+}
+
+// Stream returns a copy of a device's live chunk stream on the current
+// incarnation, if any — the fleet supervisor reads it when rebalancing a
+// device onto a newly joined shard.
+func (s *Supervisor) Stream(id string) ([]byte, bool) {
+	srv := s.cur.Load()
+	if srv == nil {
+		return nil, false
+	}
+	return srv.Stream(id)
+}
+
 // AckedKeys returns the serialized form of every record any incarnation
 // ever acknowledged for a device, sorted — the exact wire-level ground
 // truth for the no-acknowledged-data-loss invariant across crashes.
@@ -357,6 +398,54 @@ func (s *Supervisor) atCrashpoint(srv *Server, p Crashpoint) bool {
 	return s.armed.CompareAndSwap(1+int32(p), 0)
 }
 
+// InjectKill arms a kill at the given crashpoint on the live incarnation,
+// the fleet supervisor's entry point: fleet-level subset kills arrive here
+// instead of through this supervisor's own (disabled) schedule. Returns
+// false when a kill is already armed, the supervisor is disarmed, or no
+// incarnation is live — the caller's draw is simply consumed.
+func (s *Supervisor) InjectKill(p Crashpoint) bool {
+	if p < 0 || p >= numCrashpoints {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disarmed || s.cur.Load() == nil {
+		return false
+	}
+	if !s.armed.CompareAndSwap(0, 1+int32(p)) {
+		return false
+	}
+	s.point = p
+	s.armedAge = 0
+	return true
+}
+
+// KillArmed reports whether an injected kill is armed but not yet fired.
+func (s *Supervisor) KillArmed() bool { return s.armed.Load() != 0 }
+
+// RepointKill moves an armed-but-stalled kill to a different crashpoint —
+// the fleet supervisor's analogue of the internal repointWindow logic: a
+// kill armed for a crashpoint the shard never reaches (compaction on a
+// quiet shard) would otherwise wait forever. Returns false when nothing is
+// armed or the kill already points there.
+func (s *Supervisor) RepointKill(p Crashpoint) bool {
+	if p < 0 || p >= numCrashpoints {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.armed.Load()
+	if cur == 0 || Crashpoint(cur-1) == p {
+		return false
+	}
+	if !s.armed.CompareAndSwap(cur, 1+int32(p)) {
+		return false
+	}
+	s.point = p
+	s.armedAge = 0
+	return true
+}
+
 // drawKillLocked schedules the next kill: a request countdown in
 // [KillEveryMin, KillEveryMax] and a uniformly drawn crashpoint. Caller
 // holds s.mu.
@@ -380,6 +469,7 @@ func (s *Supervisor) drawKillLocked() {
 func (s *Supervisor) serverDied(old *Server) {
 	deadUploads := old.Uploads()
 	deadCompactions := old.Compactions()
+	deadHandoffs := old.Handoffs()
 	deadAcked := old.ackedSnapshot()
 
 	s.mu.Lock()
@@ -387,6 +477,7 @@ func (s *Supervisor) serverDied(old *Server) {
 	s.pointHits[s.point]++
 	s.uploadsBefore += deadUploads
 	s.compactBefore += deadCompactions
+	s.handoffBefore += deadHandoffs
 	for id, keys := range deadAcked {
 		dst := s.ackedBefore[id]
 		if dst == nil {
@@ -403,6 +494,12 @@ func (s *Supervisor) serverDied(old *Server) {
 	if disarmed {
 		s.cur.Store(nil)
 		return
+	}
+
+	if s.onCrash != nil {
+		// Crash handoff window: the store holds the dead incarnation's
+		// synced state and no replacement is listening yet.
+		s.onCrash()
 	}
 
 	var next *Server
@@ -430,6 +527,11 @@ func (s *Supervisor) serverDied(old *Server) {
 	}
 	s.restarts++
 	s.cur.Store(next)
-	s.drawKillLocked()
+	if s.crash.Enabled() {
+		// Fleet-injected kills (InjectKill) arrive on supervisors whose own
+		// schedule — and RNG — is absent; only a self-scheduling supervisor
+		// redraws here.
+		s.drawKillLocked()
+	}
 	s.mu.Unlock()
 }

@@ -140,6 +140,70 @@ func checkChunkArgs(deviceID string, offset int, chunk []byte) error {
 	return nil
 }
 
+// RetryNetTransport is NetTransport with bounded host-time retries on
+// transport-level failures: dial errors, dead connections, lost replies.
+// The sharded fleet path uses it so that shard and router kill windows —
+// host-time phenomena measured in milliseconds — never surface to the
+// simulated uploader, whose shortest retry is half an hour of simulated
+// time; a window crossing a master reset would otherwise destroy records
+// the single-server study delivered. Protocol rejections (a parsed ERR
+// reply) are real answers, not windows, and pass through unretried; so
+// does every injected FaultyTransport fault, which either never reaches
+// this layer or arrives via the raw path below.
+type RetryNetTransport struct{}
+
+// transientNetErr reports whether an error means "no complete reply" — the
+// connection failed somewhere between dial and the reply line — or the
+// router gave up waiting for a shard; both heal with time.
+func transientNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "dial") || strings.Contains(s, "deadline") ||
+		strings.Contains(s, "send header") || strings.Contains(s, "send chunk") ||
+		strings.Contains(s, "read reply") || strings.Contains(s, "shard unavailable")
+}
+
+func retryNet(do func() error) {
+	for attempt := 0; attempt < 60; attempt++ {
+		if attempt > 0 {
+			// Host-time pause while a real router/shard rebinds; the
+			// simulation never observes it.
+			//symlint:allow determinism host-time pause while a real TCP peer rebinds
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := do(); !transientNetErr(err) {
+			return
+		}
+	}
+}
+
+// UploadChunk implements Transport with transient-failure retries.
+func (RetryNetTransport) UploadChunk(addr, deviceID string, offset int, chunk []byte) (n int, err error) {
+	retryNet(func() error {
+		n, err = NetTransport{}.UploadChunk(addr, deviceID, offset, chunk)
+		return err
+	})
+	return n, err
+}
+
+// Offset implements Transport with transient-failure retries.
+func (RetryNetTransport) Offset(addr, deviceID string) (n int, sum uint32, err error) {
+	retryNet(func() error {
+		n, sum, err = NetTransport{}.Offset(addr, deviceID)
+		return err
+	})
+	return n, sum, err
+}
+
+// uploadChunkRaw passes injected in-flight damage through unretried: a
+// truncated or corrupted body is a deterministic fault draw, and retrying
+// it would turn injected adversity into a different experiment.
+func (RetryNetTransport) uploadChunkRaw(addr, deviceID string, offset int, declared, body []byte) (int, error) {
+	return NetTransport{}.uploadChunkRaw(addr, deviceID, offset, declared, body)
+}
+
 // NetFaults calibrates the network adversity model. The zero value is a
 // perfect network.
 type NetFaults struct {

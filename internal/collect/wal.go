@@ -40,11 +40,14 @@ const (
 )
 
 // WAL operations. opChunk and opUpload carry payload bytes; opFin retires a
-// device's chunk stream.
+// device's chunk stream; opHandoff and opHandoffStream carry state
+// replicated from a peer server (fleet crash handoff and rebalancing).
 const (
-	opChunk  = "chunk"
-	opUpload = "upload"
-	opFin    = "fin"
+	opChunk         = "chunk"
+	opUpload        = "upload"
+	opFin           = "fin"
+	opHandoff       = "handoff"
+	opHandoffStream = "handoffstream"
 )
 
 // walEntry is one logged verb. Data round-trips through JSON (base64), the
@@ -164,6 +167,16 @@ func recoverServerState(store *CrashStore) (files, streams map[string][]byte) {
 			files[e.Dev] = mergeLogs(files[e.Dev], e.Data)
 		case opFin:
 			delete(streams, e.Dev)
+		case opHandoff:
+			files[e.Dev] = mergeLogs(files[e.Dev], e.Data)
+		case opHandoffStream:
+			// Mirrors handleHandoff: the entry was only logged when the live
+			// stream was empty at commit time, and replay reconstructs the
+			// same state, so the guard re-evaluates identically.
+			if len(streams[e.Dev]) == 0 {
+				streams[e.Dev] = append([]byte(nil), e.Data...)
+			}
+			files[e.Dev] = mergeLogs(files[e.Dev], e.Data)
 		}
 	}
 
@@ -177,4 +190,14 @@ func recoverServerState(store *CrashStore) (files, streams map[string][]byte) {
 	}
 	store.Remove(snapTmpName)
 	return files, streams
+}
+
+// RecoverState rebuilds (and normalises) a server's durable state from its
+// store without starting a server: per-device merged logs and live chunk
+// streams. The fleet supervisor reads a dying shard's acked state this way
+// to hand it off to surviving peers. Like server construction, recovery is
+// idempotent — recovering an already-recovered store returns the same maps
+// byte for byte and writes nothing.
+func RecoverState(store *CrashStore) (files, streams map[string][]byte) {
+	return recoverServerState(store)
 }

@@ -185,6 +185,18 @@ func TestAckOrderGolden(t *testing.T) {
 	}))
 }
 
+// TestHandoffAckOrderGolden runs ackorder over the fleet-handoff fixture:
+// a peer accepting custody of another shard's acknowledged records must
+// make them durable before its OK reaches the donor, in loops and through
+// the boolean-correlated commit idiom alike.
+func TestHandoffAckOrderGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/handofffix"
+	checkGolden(t, "handofffix", lint.NewAckOrder(lint.AckOrderConfig{
+		PkgPrefixes: []string{fixturePath},
+		StoreTypes:  []lint.TypeRef{{Pkg: fixturePath, Name: "WAL"}},
+	}))
+}
+
 func TestErrDropGolden(t *testing.T) {
 	fixturePath := "symfail/internal/lint/testdata/src/errdropfix"
 	checkGolden(t, "errdropfix", lint.NewErrDrop(lint.ErrDropConfig{

@@ -1,0 +1,74 @@
+// Package handofffix exercises the ackorder analyzer on the fleet's
+// handoff path: a peer accepting a HANDOFF verb is accepting custody of
+// records another shard already acknowledged, so its OK must follow the
+// WAL append+sync exactly like a first-hand upload's — a handoff acked
+// from memory evaporates if the receiving shard dies next.
+package handofffix
+
+import (
+	"fmt"
+	"net"
+)
+
+// WAL stands in for the receiving shard's CrashStore.
+type WAL struct{}
+
+func (w *WAL) Append(name string, rec []byte) {}
+func (w *WAL) Sync(name string)               {}
+
+type peer struct {
+	wal *WAL
+}
+
+// Good: the migrated payload is durable before the donor hears OK.
+func (p *peer) handleHandoffGood(conn net.Conn, dev string, payload []byte) {
+	p.wal.Append(dev, payload)
+	p.wal.Sync(dev)
+	fmt.Fprint(conn, "OK\n")
+}
+
+// Bad: the donor is told OK while the payload is still in memory; if this
+// shard dies before the sync, both copies of the handed-off records are
+// gone — the donor believes custody transferred.
+func (p *peer) handleHandoffEarlyAck(conn net.Conn, dev string, payload []byte) {
+	p.wal.Append(dev, payload)
+	fmt.Fprint(conn, "OK\n") // want: reply before sync
+	p.wal.Sync(dev)
+}
+
+// Bad on the second device onward: the migration loop acknowledges each
+// device, then the next append trails that reply — the OK on the wire
+// cannot cover records appended after it.
+func (p *peer) replicateLoop(conn net.Conn, devs []string, payloads map[string][]byte) {
+	for _, dev := range devs {
+		p.wal.Append(dev, payloads[dev]) // want: append after first-iteration reply
+		p.wal.Sync(dev)
+		fmt.Fprint(conn, "OK\n")
+	}
+}
+
+// commit is the real handler's boolean-correlated idiom: the crashed path
+// returns false with the append possibly unsynced.
+func (p *peer) commit(dev string, payload []byte, crashed bool) bool {
+	p.wal.Append(dev, payload)
+	if crashed {
+		return false
+	}
+	p.wal.Sync(dev)
+	return true
+}
+
+// Good: only the synced path acknowledges the handoff.
+func (p *peer) handleViaCommit(conn net.Conn, dev string, payload []byte, crashed bool) {
+	if !p.commit(dev, payload, crashed) {
+		return
+	}
+	fmt.Fprint(conn, "OK\n")
+}
+
+// Good: the live-stream-outranks skip — a stale handoff is acknowledged
+// without committing anything, and an OK that covers no append needs no
+// sync before it.
+func (p *peer) handleOutranked(conn net.Conn, dev string) {
+	fmt.Fprint(conn, "OK skipped\n")
+}

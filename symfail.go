@@ -26,6 +26,7 @@ import (
 	"symfail/internal/analysis"
 	"symfail/internal/analysis/stream"
 	"symfail/internal/collect"
+	"symfail/internal/collect/fleet"
 	"symfail/internal/core"
 	"symfail/internal/forum"
 	"symfail/internal/phone"
@@ -65,6 +66,11 @@ type FieldStudyConfig struct {
 	// resets: reading only the final flash loses everything logged before
 	// a reset. Zero means a single upload at study end.
 	UploadEvery time.Duration
+	// Servers, on the RunFieldStudyWithFleet path, is the collection-fleet
+	// shard count (0 or 1 runs the single durable server of the collector
+	// path; >1 shards the fleet behind a device-hash router). Ignored by
+	// RunFieldStudy and RunFieldStudyWithCollector.
+	Servers int
 	// WithUserReporter additionally installs the output-failure reporting
 	// extension (core.UserReporter) on every phone.
 	WithUserReporter bool
@@ -86,6 +92,15 @@ type FieldStudyConfig struct {
 	// accumulator whose counts tolerate the tap's at-least-once delivery;
 	// see its doc. Ignored when no collector is run on the caller's behalf.
 	Monitor *stream.Monitor
+
+	// healTransport, set internally by the sharded fleet path, rides
+	// uploads on collect.RetryNetTransport: fleet kill/handoff windows are
+	// host-time phenomena (milliseconds) that must not surface to the
+	// simulated uploader, whose shortest retry is half an hour of simulated
+	// time — a window crossing a master reset would destroy records the
+	// single-server study delivers, breaking dataset equivalence. Injected
+	// network faults are unaffected (they ride above the retry layer).
+	healTransport bool
 }
 
 // AdversityConfig calibrates the fault-injection layer. Everything is a
@@ -111,6 +126,12 @@ type AdversityConfig struct {
 	// snapshot compaction (zero keeps collect.DefaultCompactEvery); small
 	// values make short chaos runs exercise the compaction crashpoints.
 	ServerCompactWAL int
+	// FleetJoinAfter / FleetLeaveAfter, on the RunFieldStudyWithFleet path
+	// with Servers > 1, respectively add and retire one shard after that
+	// many routed requests — a mid-study scale-up/scale-down with live
+	// rebalancing (fleet.Config.JoinAfter / LeaveAfter).
+	FleetJoinAfter  int
+	FleetLeaveAfter int
 }
 
 // Enabled reports whether any adversity is armed.
@@ -190,12 +211,18 @@ func RunFieldStudy(cfg FieldStudyConfig) (*FieldStudy, error) {
 				RetryBase: cfg.Adversity.RetryBase,
 				RetryMax:  cfg.Adversity.RetryMax,
 			}
+			var inner collect.Transport
+			if cfg.healTransport {
+				inner = collect.RetryNetTransport{}
+			}
 			if cfg.Adversity.Net.Enabled() {
 				// One Split child drives the injected faults, another the
 				// retry jitter; both are derived here, in device order, so
 				// the whole adversity run is a function of the seed.
-				ucfg.Transport = collect.NewFaultyTransport(nil, cfg.Adversity.Net, d.SplitRand())
+				ucfg.Transport = collect.NewFaultyTransport(inner, cfg.Adversity.Net, d.SplitRand())
 				ucfg.Rng = d.SplitRand()
+			} else {
+				ucfg.Transport = inner
 			}
 			uploaders = append(uploaders, collect.AttachUploaderWith(d, cfg.CollectorAddr, l.Config().LogPath, ucfg))
 		}
@@ -377,6 +404,70 @@ func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Sup
 	}
 	fs.Study = analysis.FromCollect(c)
 	return fs, sup, nil
+}
+
+// RunFieldStudyWithFleet runs the study uploading logs over TCP to a
+// sharded collection fleet (cfg.Servers shards behind a device-hash
+// router), returning the study and the fleet supervisor. The caller owns
+// the supervisor's lifetime. With cfg.Servers <= 1 the fleet degenerates to
+// exactly the RunFieldStudyWithCollector single server — same construction,
+// same RNG consumption, byte-identical results.
+//
+// Every shard is the durable server of the collector path (own WAL, own
+// crash store). When cfg.Adversity.ServerCrash is armed the fleet
+// supervisor kills RNG-drawn subsets of {shards..., router} at the server
+// crashpoints plus the fleet's handoff/rebalance points, dying shards hand
+// their acked state to surviving peers, and FleetJoinAfter/FleetLeaveAfter
+// rebalance membership mid-study. Whatever dies, the merged dataset holds
+// every acknowledged record exactly once.
+func RunFieldStudyWithFleet(cfg FieldStudyConfig) (*FieldStudy, *fleet.Supervisor, error) {
+	servers := cfg.Servers
+	if servers < 1 {
+		servers = 1
+	}
+	fcfg := fleet.Config{
+		Servers:      servers,
+		Crash:        cfg.Adversity.ServerCrash,
+		CompactEvery: cfg.Adversity.ServerCompactWAL,
+		Rng:          sim.NewRand(cfg.Seed ^ collectorSeedSalt),
+		JoinAfter:    cfg.Adversity.FleetJoinAfter,
+		LeaveAfter:   cfg.Adversity.FleetLeaveAfter,
+	}
+	if cfg.Monitor != nil {
+		fcfg.OnRecord = cfg.Monitor.Observe
+	}
+	fl, err := fleet.New(fcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.CollectorAddr = fl.Addr()
+	// Only the true fleet path heals transport windows: the degenerate
+	// single server must keep the collector path's exact behaviour (its
+	// request count feeds the crash schedule, so even an extra retry would
+	// shift the kill pattern off the pinned golden).
+	cfg.healTransport = servers > 1
+	if cfg.UploadEvery <= 0 {
+		cfg.UploadEvery = 7 * 24 * time.Hour
+	}
+	fs, err := RunFieldStudy(cfg)
+	if err != nil {
+		_ = fl.Close()
+		return nil, nil, err
+	}
+	if err := fl.Err(); err != nil {
+		_ = fl.Close()
+		return nil, nil, err
+	}
+	// Analyse the fleet-wide merged dataset — the union over every shard,
+	// live and departed, with the canonical merge deduplicating replicas.
+	fs.Dataset = fl.MergedDataset()
+	c, err := collectFromDataset(fs.Dataset, cfg.Analysis)
+	if err != nil {
+		_ = fl.Close()
+		return nil, nil, err
+	}
+	fs.Study = analysis.FromCollect(c)
+	return fs, fl, nil
 }
 
 // RunForumStudy generates the synthetic web-forum corpus and runs the
