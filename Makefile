@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet fuzz parallel stream test test-short bench bench-parallel bench-analysis repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet fuzz parallel stream test test-short bench bench-parallel bench-analysis bench-check repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -80,6 +80,30 @@ bench-parallel:
 # Batch-vs-stream analysis pipelines -> BENCH_analysis.json.
 bench-analysis:
 	$(GO) test -run xxx -bench BenchmarkStudyStreamVsBatch -benchtime 5x .
+
+# Perf-regression gate: re-measure the quick benchmark cells into fresh
+# reports (committed baselines untouched) and diff against the committed
+# BENCH_*.json. Allocs/op always gates at benchdiff's 0.5% slack — wide
+# enough for one-off lazy-init jitter, two orders of magnitude below a
+# per-record leak. Throughput gates at BENCH_THRESHOLD, which
+# defaults wide (50%) because the committed baselines come from the
+# reference container and CI/dev hosts differ in both hardware and load
+# (measured same-host noise alone spans ±20%): the wide default catches
+# a lost fast path or accidental O(n^2), not scheduler jitter. For a
+# same-host before/after comparison, tighten it:
+# `make bench-check BENCH_THRESHOLD=0.10` (benchdiff's own default).
+# The large-fleet cells (100k/1M phones) are skipped here — their
+# anchored regex keeps this target CI-sized; refresh them with
+# `make bench-parallel` when touching the engine hot path.
+BENCH_THRESHOLD ?= 0.5
+bench-check:
+	BENCH_PARALLEL_OUT=.bench_new_parallel.json \
+		$(GO) test -run xxx -bench 'BenchmarkFleetScaling/phones=(25|100|1000)$$/' -benchtime 1x .
+	BENCH_ANALYSIS_OUT=.bench_new_analysis.json \
+		$(GO) test -run xxx -bench BenchmarkStudyStreamVsBatch -benchtime 5x .
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_parallel.json .bench_new_parallel.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_analysis.json .bench_new_analysis.json
+	rm -f .bench_new_parallel.json .bench_new_analysis.json
 
 # The whole paper: sections 4-6, every table and figure (~10 s).
 repro:

@@ -1,0 +1,121 @@
+package symfail
+
+import (
+	"testing"
+	"time"
+
+	"symfail/internal/analysis/stream"
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+// TestAllocBudgets is the repo-wide allocation ratchet: every hot path gets
+// a named steady-state budget, and a change that regresses one fails here
+// with the subsystem spelled out. Budgets only ever go down — when an
+// optimisation lands, tighten the number in this table so the gain cannot
+// silently erode. Skipped under -race (instrumentation allocates).
+func TestAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under -race")
+	}
+	cases := []struct {
+		name   string
+		budget float64
+		// setup returns the op to measure, already warmed to steady state.
+		setup func() func()
+	}{
+		{
+			// The tentpole contract: scheduling and firing an event on the
+			// timing-wheel engine reuses pooled nodes and interned closures,
+			// so the simulation hot loop allocates nothing at all.
+			name: "sim/engine: schedule+fire one event", budget: 0,
+			setup: func() func() {
+				eng := sim.NewEngine()
+				fn := func() {}
+				op := func() {
+					eng.After(time.Second, "tick", fn)
+					eng.Step()
+				}
+				for i := 0; i < 256; i++ {
+					op()
+				}
+				return op
+			},
+		},
+		{
+			name: "core: AppendRecord into warm scratch", budget: 0,
+			setup: func() func() {
+				rec := core.Record{
+					Kind: core.KindPanic, Time: 1234567890, Category: "KERN-EXEC",
+					PType: 3, Apps: []string{"phone", "camera"}, Activity: "voice-call",
+				}
+				buf := make([]byte, 0, 256)
+				return func() { buf = core.AppendRecordLine(buf[:0], rec) }
+			},
+		},
+		{
+			name: "core: AppendFrame into warm scratch", budget: 0,
+			setup: func() func() {
+				payload := core.AppendRecord(nil, core.Record{Kind: core.KindBoot, Time: 7, Boot: 2})
+				buf := make([]byte, 0, 256)
+				return func() { buf = core.AppendFrame(buf[:0], payload) }
+			},
+		},
+		{
+			// Down from 12 when the accumulators still round-tripped
+			// through encoding/json; the remaining allocs are the finalized
+			// HLEvent and its retained strings.
+			name: "analysis/stream: Observe boot record", budget: 6,
+			setup: func() func() {
+				acc := stream.NewTables(stream.Config{})
+				acc.AddDevice("a")
+				now, boot := int64(sim.Epoch), 1
+				acc.Observe("a", core.Record{Kind: core.KindBoot, Time: now, Boot: boot, Detected: core.DetectedFirstBoot})
+				op := func() {
+					boot++
+					prev := now
+					now += int64(time.Hour)
+					acc.Observe("a", core.Record{
+						Kind: core.KindBoot, Time: now, Boot: boot,
+						Detected: core.DetectedFreeze, PrevBeat: core.BeatAlive,
+						PrevTime: prev, OffSeconds: 30,
+					})
+				}
+				for i := 0; i < 64; i++ {
+					op()
+				}
+				return op
+			},
+		},
+		{
+			name: "analysis/stream: Observe panic record", budget: 6,
+			setup: func() func() {
+				acc := stream.NewTables(stream.Config{})
+				acc.AddDevice("a")
+				acc.Observe("a", core.Record{Kind: core.KindBoot, Time: 0, Boot: 1, Detected: core.DetectedFirstBoot})
+				now := int64(sim.Epoch)
+				apps := []string{"phone", "camera"}
+				op := func() {
+					now += int64(time.Minute)
+					acc.Observe("a", core.Record{
+						Kind: core.KindPanic, Time: now, Category: "KERN-EXEC",
+						PType: 3, Apps: apps, Activity: "voice-call",
+					})
+				}
+				for i := 0; i < 64; i++ {
+					op()
+				}
+				return op
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			op := tc.setup()
+			if avg := testing.AllocsPerRun(500, op); avg > tc.budget {
+				t.Errorf("%s: %.1f allocs/op in steady state, budget %.0f", tc.name, avg, tc.budget)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// report is the shared shape of every BENCH_*.json file: a header plus a
+// list of cells with arbitrary fields. Cells are decoded generically so one
+// tool gates both the fleet-scaling and the analysis benchmarks, and new
+// metrics gate automatically by naming convention.
+type report struct {
+	Cells []map[string]any `json:"cells"`
+}
+
+// identityFields name a cell within its grid; everything numeric outside
+// this set is a measurement.
+var identityFields = map[string]bool{
+	"phones":  true,
+	"workers": true,
+	"months":  true,
+	"mode":    true,
+	"records": true,
+}
+
+// higherIsBetter reports whether a metric regresses by going down
+// (throughput) rather than up (cost).
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "PerSec")
+}
+
+// allocSlack is the relative allowance on allocation counts. Allocs/op
+// are near-deterministic but not exact: a one-time lazy init or pool
+// refill averaged over a few bench iterations moves the count by ±1 in
+// ~70k (≈0.002%). A real leak on a per-record hot path moves it by at
+// least one alloc *per record* — several percent — so 0.5% separates
+// jitter from leaks with two orders of magnitude to spare.
+const allocSlack = 0.005
+
+// gated reports whether a metric participates in the gate at all, and with
+// what allowance: throughput metrics tolerate `threshold`, allocation
+// counts tolerate only allocSlack (anything beyond it is a leak in a
+// pooled hot path), everything else (wall seconds, RSS, raw totals) is
+// informational — those follow from the gated metrics and
+// double-reporting them only adds noise.
+func gated(metric string, threshold float64) (allowance float64, ok bool) {
+	switch {
+	case higherIsBetter(metric):
+		return threshold, true
+	case strings.HasPrefix(metric, "allocs"):
+		return allocSlack, true
+	default:
+		return 0, false
+	}
+}
+
+// cellKey renders a cell's identity fields into a stable match key.
+func cellKey(cell map[string]any) string {
+	parts := make([]string, 0, len(identityFields))
+	for f := range identityFields {
+		if v, present := cell[f]; present {
+			parts = append(parts, fmt.Sprintf("%s=%v", f, v))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Result is the outcome of one baseline/new comparison.
+type Result struct {
+	// Regressions are gate failures; non-empty means exit 1.
+	Regressions []string
+	// OK lists every gated metric that passed, with its delta.
+	OK []string
+	// Notes report cells that exist on only one side.
+	Notes []string
+}
+
+// Compare diffs two benchmark reports. A throughput metric may drop by at
+// most threshold (fractional); an allocation metric may not rise at all.
+func Compare(baseline, fresh []byte, threshold float64) (Result, error) {
+	var baseRep, newRep report
+	if err := json.Unmarshal(baseline, &baseRep); err != nil {
+		return Result{}, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(fresh, &newRep); err != nil {
+		return Result{}, fmt.Errorf("new: %w", err)
+	}
+	newCells := make(map[string]map[string]any, len(newRep.Cells))
+	for _, c := range newRep.Cells {
+		newCells[cellKey(c)] = c
+	}
+	var res Result
+	seen := make(map[string]bool)
+	for _, baseCell := range baseRep.Cells {
+		key := cellKey(baseCell)
+		seen[key] = true
+		newCell, present := newCells[key]
+		if !present {
+			res.Notes = append(res.Notes, fmt.Sprintf("cell [%s] missing from new run", key))
+			continue
+		}
+		metrics := make([]string, 0, len(baseCell))
+		for m := range baseCell {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			allowance, isGated := gated(m, threshold)
+			if identityFields[m] || !isGated {
+				continue
+			}
+			baseVal, bOK := asFloat(baseCell[m])
+			newVal, nOK := asFloat(newCell[m])
+			if !bOK || !nOK {
+				continue
+			}
+			delta := relativeDelta(baseVal, newVal, higherIsBetter(m))
+			line := fmt.Sprintf("[%s] %s: %.4g -> %.4g (%+.1f%%)", key, m, baseVal, newVal, 100*change(baseVal, newVal))
+			if delta > allowance {
+				res.Regressions = append(res.Regressions, line)
+			} else {
+				res.OK = append(res.OK, line)
+			}
+		}
+	}
+	newKeys := make([]string, 0, len(newCells))
+	for key := range newCells {
+		if !seen[key] {
+			newKeys = append(newKeys, key)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, key := range newKeys {
+		res.Notes = append(res.Notes, fmt.Sprintf("cell [%s] new in this run (no baseline)", key))
+	}
+	return res, nil
+}
+
+// relativeDelta is how far newVal regressed from baseVal, as a fraction of
+// baseVal; improvement and no-change yield 0.
+func relativeDelta(baseVal, newVal float64, higherBetter bool) float64 {
+	if baseVal == 0 {
+		if newVal == 0 || higherBetter {
+			return 0 // can't regress throughput below a zero baseline
+		}
+		return math.Inf(1) // cost appeared where the baseline had none
+	}
+	regress := (baseVal - newVal) / baseVal
+	if !higherBetter {
+		regress = -regress
+	}
+	if regress < 0 {
+		return 0
+	}
+	return regress
+}
+
+// change is the signed fractional movement for display.
+func change(baseVal, newVal float64) float64 {
+	if baseVal == 0 {
+		return 0
+	}
+	return (newVal - baseVal) / baseVal
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}

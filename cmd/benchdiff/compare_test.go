@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCompareCatchesThroughputRegression is the committed negative test the
+// ISSUE requires: a 20% phone-hours/s drop must fail the 10% gate.
+func TestCompareCatchesThroughputRegression(t *testing.T) {
+	res, err := Compare(load(t, "parallel_base.json"), load(t, "parallel_regressed.json"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly the 25-phone throughput drop", res.Regressions)
+	}
+	if !strings.Contains(res.Regressions[0], "phoneHoursPerSec") || !strings.Contains(res.Regressions[0], "phones=25") {
+		t.Errorf("unexpected regression line: %s", res.Regressions[0])
+	}
+	// The 1000-phone cell dropped <2%: inside the allowance, reported ok.
+	found := false
+	for _, l := range res.OK {
+		if strings.Contains(l, "phones=1000") && strings.Contains(l, "phoneHoursPerSec") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("1000-phone cell not reported ok: %v", res.OK)
+	}
+}
+
+// TestCompareCatchesAllocIncrease: the fixture leaks one allocation per
+// record (8801 -> 9469 over 668 records, +7.6%) — far beyond allocSlack —
+// and fails even though every throughput metric improved.
+func TestCompareCatchesAllocIncrease(t *testing.T) {
+	res, err := Compare(load(t, "analysis_base.json"), load(t, "analysis_alloc_up.json"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 1 || !strings.Contains(res.Regressions[0], "allocsPerOp") {
+		t.Fatalf("regressions = %v, want exactly the allocsPerOp increase", res.Regressions)
+	}
+}
+
+// TestCompareAllocJitterTolerated: ±1 alloc in ~9k (a lazy init averaged
+// across bench iterations) stays inside allocSlack and does not trip the
+// gate; the slack is two orders of magnitude below a real per-record leak.
+func TestCompareAllocJitterTolerated(t *testing.T) {
+	base := load(t, "analysis_base.json")
+	jittered := strings.Replace(string(base), `"allocsPerOp": 8801`, `"allocsPerOp": 8802`, 1)
+	if jittered == string(base) {
+		t.Fatal("fixture edit did not apply; check analysis_base.json")
+	}
+	res, err := Compare(base, []byte(jittered), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("regressions = %v, want none for +1 alloc jitter", res.Regressions)
+	}
+}
+
+// TestCompareSelfIsClean: a report against itself has no regressions, and
+// every gated metric shows up in the ok list.
+func TestCompareSelfIsClean(t *testing.T) {
+	for _, name := range []string{"parallel_base.json", "analysis_base.json"} {
+		data := load(t, name)
+		res, err := Compare(data, data, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Regressions) != 0 {
+			t.Errorf("%s vs itself: regressions %v", name, res.Regressions)
+		}
+		if len(res.OK) == 0 {
+			t.Errorf("%s vs itself: nothing compared", name)
+		}
+	}
+}
+
+// TestCompareCellChurn: cells on one side only are notes, never failures —
+// baselines may grow cells (new benchmark points) or temporarily lack them
+// (a filtered -bench run).
+func TestCompareCellChurn(t *testing.T) {
+	res, err := Compare(load(t, "parallel_base.json"), load(t, "analysis_base.json"), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) != 0 {
+		t.Errorf("disjoint grids regressed: %v", res.Regressions)
+	}
+	if len(res.Notes) != 3 {
+		t.Errorf("notes = %v, want 2 missing + 1 new", res.Notes)
+	}
+}
+
+// TestCompareRealBaselines: the committed BENCH_*.json at the repo root
+// must each be self-clean through the gate — guards against the tool and
+// the reports drifting apart schema-wise.
+func TestCompareRealBaselines(t *testing.T) {
+	for _, name := range []string{"BENCH_parallel.json", "BENCH_analysis.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Skipf("%s not present: %v", name, err)
+		}
+		res, err := Compare(data, data, 0.10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Regressions) != 0 || len(res.OK) == 0 {
+			t.Errorf("%s vs itself: regressions=%v ok=%d", name, res.Regressions, len(res.OK))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command benchdiff compares two benchmark report files (BENCH_parallel.json
+// or BENCH_analysis.json) and exits non-zero when the new run regresses the
+// baseline: any throughput metric (*PerSec) more than -threshold below the
+// baseline, or any allocation count (allocsPerOp) above it at all. It is the
+// engine behind `make bench-check`.
+//
+//	benchdiff [-threshold 0.10] baseline.json new.json
+//
+// Cells are matched by their identity fields (phones, workers, months, mode,
+// records); cells present in only one file are reported but never fail the
+// gate, so baselines can grow new cells without ceremony.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional throughput regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] baseline.json new.json")
+		os.Exit(2)
+	}
+	basePath, newPath := flag.Arg(0), flag.Arg(1)
+	base, err := os.ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := os.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	result, err := Compare(base, fresh, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	for _, n := range result.Notes {
+		fmt.Println("note:", n)
+	}
+	for _, l := range result.OK {
+		fmt.Println("ok:  ", l)
+	}
+	for _, r := range result.Regressions {
+		fmt.Println("FAIL:", r)
+	}
+	if len(result.Regressions) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) comparing %s -> %s\n", len(result.Regressions), basePath, newPath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions (%d cells compared)\n", len(result.OK))
+}

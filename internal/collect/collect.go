@@ -720,12 +720,13 @@ func (s *Server) recordAckedLocked(id string, data []byte) {
 		keys = make(map[string]bool)
 		s.ackedKeys[id] = keys
 	}
+	var scratch []byte
 	for _, rec := range core.ParseRecords(data) {
-		k := string(core.EncodeRecord(rec))
-		if keys[k] {
+		scratch = core.AppendRecordLine(scratch[:0], rec)
+		if keys[string(scratch)] { // alloc-free lookup; re-sent records are the common case
 			continue
 		}
-		keys[k] = true
+		keys[string(scratch)] = true
 		if s.cfg.OnRecord != nil {
 			s.cfg.OnRecord(id, rec)
 		}

@@ -28,12 +28,14 @@ func MergeRecords(batches ...[]core.Record) []core.Record {
 		key string
 	}
 	var all []keyed
+	var scratch []byte
 	for _, batch := range batches {
 		for _, r := range batch {
-			key := string(core.EncodeRecord(r))
-			if seen[key] {
+			scratch = core.AppendRecordLine(scratch[:0], r)
+			if seen[string(scratch)] { // alloc-free lookup; the key string is built only for new records
 				continue
 			}
+			key := string(scratch)
 			seen[key] = true
 			all = append(all, keyed{rec: r, key: key})
 		}
@@ -56,7 +58,7 @@ func MergeRecords(batches ...[]core.Record) []core.Record {
 func EncodeRecords(recs []core.Record) []byte {
 	var out []byte
 	for _, r := range recs {
-		out = append(out, core.EncodeRecord(r)...)
+		out = core.AppendRecordLine(out, r)
 	}
 	return out
 }

@@ -69,6 +69,14 @@ type Uploader struct {
 	// count as retransmission. Reset when rotation or a master reset gives
 	// the file a new identity.
 	sentHigh int
+
+	// Interned event labels and callbacks: the periodic tick and the retry
+	// re-arm on every fire, and a per-arm closure would allocate at fleet
+	// scale. Built once in AttachUploaderWith.
+	tickLabel  string
+	tickFn     func()
+	retryLabel string
+	retryFn    func()
 }
 
 // AttachUploader installs a periodic uploader on a device. path is the
@@ -92,6 +100,21 @@ func AttachUploaderWith(d *phone.Device, addr, path string, cfg UploaderConfig) 
 		cfg.RetryMax = cfg.Every
 	}
 	u := &Uploader{dev: d, addr: addr, path: path, cfg: cfg}
+	u.tickLabel = "upload " + d.ID()
+	u.tickFn = func() {
+		if u.dev.State() == phone.StateOn {
+			u.uploadNow()
+		}
+		u.loop()
+	}
+	u.retryLabel = "upload-retry " + d.ID()
+	u.retryFn = func() {
+		u.retryPending = false
+		if u.dev.State() == phone.StateOn {
+			u.retries++
+			u.uploadNow()
+		}
+	}
 	u.loop()
 	return u
 }
@@ -135,12 +158,7 @@ func (u *Uploader) Reconnects() int { return u.reconnects }
 func (u *Uploader) BytesRetransmitted() int64 { return u.retransmitted }
 
 func (u *Uploader) loop() {
-	u.dev.Engine().After(u.cfg.Every, "upload "+u.dev.ID(), func() {
-		if u.dev.State() == phone.StateOn {
-			u.uploadNow()
-		}
-		u.loop()
-	})
+	u.dev.Engine().After(u.cfg.Every, u.tickLabel, u.tickFn)
 }
 
 // scheduleRetry arms a one-shot retry between periodic ticks, with
@@ -164,13 +182,7 @@ func (u *Uploader) scheduleRetry() {
 		return
 	}
 	u.retryPending = true
-	u.dev.Engine().After(delay, "upload-retry "+u.dev.ID(), func() {
-		u.retryPending = false
-		if u.dev.State() == phone.StateOn {
-			u.retries++
-			u.uploadNow()
-		}
-	})
+	u.dev.Engine().After(delay, u.retryLabel, u.retryFn)
 }
 
 func (u *Uploader) fail(err error) {

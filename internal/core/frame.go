@@ -1,10 +1,6 @@
 package core
 
-import (
-	"encoding/json"
-	"fmt"
-	"hash/crc32"
-)
+import "hash/crc32"
 
 // Crash-safe record framing. The consolidated Log File lives on flash that
 // can lose power mid-write: an append interrupted by a battery pull persists
@@ -40,26 +36,13 @@ var frameTable = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodeFrame wraps payload in a checksummed frame.
 func EncodeFrame(payload []byte) []byte {
-	if len(payload) > MaxFramePayload {
-		// Records are small JSON objects; a payload this large is a
-		// programming error, not flash damage.
-		panic(fmt.Sprintf("core: frame payload %d bytes exceeds %d", len(payload), MaxFramePayload))
-	}
-	out := make([]byte, 0, frameHeaderLen+len(payload)+1)
-	out = append(out, fmt.Sprintf("%c%08x:%06x:", FrameMagic, crc32.Checksum(payload, frameTable), len(payload))...)
-	out = append(out, payload...)
-	return append(out, '\n')
+	return AppendFrame(make([]byte, 0, frameHeaderLen+len(payload)+1), payload)
 }
 
 // FrameRecord serialises a record as one checksummed frame (the on-flash
 // form the Log Engine appends).
 func FrameRecord(r Record) []byte {
-	payload, err := json.Marshal(r)
-	if err != nil {
-		// Record contains only marshalable fields; this is unreachable.
-		panic(fmt.Sprintf("core: marshal record: %v", err))
-	}
-	return EncodeFrame(payload)
+	return EncodeFrame(AppendRecord(nil, r))
 }
 
 // decodeFrame tries to decode one frame at the start of data. It returns

@@ -125,6 +125,13 @@ type daemon struct {
 	leTimer   *symbos.Timer
 	powerMgr  *symbos.ActiveObject
 	battProp  *symbos.Property
+
+	// Scratch encode buffers: every heartbeat and record append reuses
+	// them instead of allocating a payload and a frame per write. The
+	// daemon is single-threaded (one engine), and the file server copies
+	// what it stores, so reuse is safe.
+	payload []byte
+	buf     []byte
 }
 
 // startDaemon launches the logger application on the freshly booted kernel.
@@ -217,9 +224,11 @@ const maxBeatsBytes = 4 << 10
 // rewriting in place would risk destroying the very record the freeze
 // detector depends on.
 func (dm *daemon) writeBeat(kind BeatKind) {
-	frame := EncodeFrame(EncodeBeat(Beat{Kind: kind, Time: int64(dm.k.Now())}))
-	if data, code := dm.files.ReadFile(dm.l.cfg.BeatsPath); code == symbos.KErrNone &&
-		len(data)+len(frame) > maxBeatsBytes {
+	dm.payload = AppendBeat(dm.payload[:0], Beat{Kind: kind, Time: int64(dm.k.Now())})
+	dm.buf = AppendFrame(dm.buf[:0], dm.payload)
+	frame := dm.buf
+	if n, code := dm.files.SizeFile(dm.l.cfg.BeatsPath); code == symbos.KErrNone &&
+		n+len(frame) > maxBeatsBytes {
 		dm.files.WriteFile(dm.l.cfg.BeatsPath, frame)
 		return
 	}
@@ -352,10 +361,16 @@ func (dm *daemon) currentActivity(at sim.Time) string {
 // append adds a record to the consolidated Log File as a checksummed
 // frame, rotating when the flash budget is exhausted.
 func (dm *daemon) append(rec Record) {
-	frame := FrameRecord(rec)
-	if data, code := dm.files.ReadFile(dm.l.cfg.LogPath); code == symbos.KErrNone &&
-		len(data)+len(frame) > dm.l.cfg.MaxLogBytes {
-		dm.files.WriteFile(dm.l.cfg.LogPath, rotateFramed(data, dm.l.cfg.MaxLogBytes/2))
+	dm.payload = AppendRecord(dm.payload[:0], rec)
+	dm.buf = AppendFrame(dm.buf[:0], dm.payload)
+	frame := dm.buf
+	if n, code := dm.files.SizeFile(dm.l.cfg.LogPath); code == symbos.KErrNone &&
+		n+len(frame) > dm.l.cfg.MaxLogBytes {
+		// Rotation is the one path that still has to materialise the
+		// file: it keeps the newest half of the records.
+		if data, rcode := dm.files.ReadFile(dm.l.cfg.LogPath); rcode == symbos.KErrNone {
+			dm.files.WriteFile(dm.l.cfg.LogPath, rotateFramed(data, dm.l.cfg.MaxLogBytes/2))
+		}
 	}
 	dm.files.AppendFile(dm.l.cfg.LogPath, frame)
 }

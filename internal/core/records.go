@@ -124,12 +124,7 @@ func (r Record) PanicKey() string {
 
 // EncodeRecord serialises a record as one JSON line.
 func EncodeRecord(r Record) []byte {
-	data, err := json.Marshal(r)
-	if err != nil {
-		// Record contains only marshalable fields; this is unreachable.
-		panic(fmt.Sprintf("core: marshal record: %v", err))
-	}
-	return append(data, '\n')
+	return AppendRecordLine(make([]byte, 0, 96), r)
 }
 
 // ParseRecords parses a Log File. Framed logs (the on-flash format since
@@ -188,11 +183,7 @@ func ScanRecords(data []byte, fn func(Record) error) error {
 
 // EncodeBeat serialises the heartbeat record.
 func EncodeBeat(b Beat) []byte {
-	data, err := json.Marshal(b)
-	if err != nil {
-		panic(fmt.Sprintf("core: marshal beat: %v", err))
-	}
-	return data
+	return AppendBeat(make([]byte, 0, 48), b)
 }
 
 // ParseBeat parses the heartbeat file and returns the most recent valid

@@ -11,6 +11,7 @@
 package phone
 
 import (
+	"sync"
 	"time"
 
 	"symfail/internal/sim"
@@ -187,14 +188,24 @@ type Config struct {
 	RunAppSamplePeriod time.Duration
 }
 
-// DefaultConfig returns the calibration used for the headline reproduction.
-func DefaultConfig(seed uint64) Config {
-	return Config{
-		Seed:      seed,
-		OSVersion: "8.0",
+// defaultCalibration holds the activity tables shared by every Config
+// that DefaultConfig returns. Three per-device maps cost ~1.4KB each at
+// fleet scale (and GC mark work proportional to it), yet their contents
+// are identical for every phone, so they are built once and aliased.
+// The maps are read-only by contract: code that wants a per-device
+// variant must replace the map, never write through it — ApplyPersona
+// clones ActivityMix before scaling it for exactly this reason.
+var defaultCalibration struct {
+	once   sync.Once
+	mix    map[Activity]float64
+	median map[Activity]time.Duration
+	risk   map[Activity]float64
+}
 
-		ActivitiesPerDay: 18,
-		ActivityMix: map[Activity]float64{
+func defaultTables() (map[Activity]float64, map[Activity]time.Duration, map[Activity]float64) {
+	c := &defaultCalibration
+	c.once.Do(func() {
+		c.mix = map[Activity]float64{
 			ActVoiceCall: 6,
 			ActMessage:   7,
 			ActContacts:  2,
@@ -204,8 +215,8 @@ func DefaultConfig(seed uint64) Config {
 			ActBrowseFS:  0.35,
 			ActClock:     0.8,
 			ActAudio:     0.3,
-		},
-		ActivityMedianDuration: map[Activity]time.Duration{
+		}
+		c.median = map[Activity]time.Duration{
 			ActVoiceCall: 2 * time.Minute,
 			ActMessage:   50 * time.Second,
 			ActContacts:  25 * time.Second,
@@ -215,7 +226,36 @@ func DefaultConfig(seed uint64) Config {
 			ActBrowseFS:  70 * time.Second,
 			ActClock:     15 * time.Second,
 			ActAudio:     4 * time.Minute,
-		},
+		}
+		c.risk = map[Activity]float64{
+			ActIdle:      1,
+			ActVoiceCall: 80,
+			ActMessage:   28,
+			ActBluetooth: 14,
+			ActCamera:    12,
+			ActNav:       8,
+			ActBrowseFS:  6,
+			ActContacts:  4,
+			ActClock:     3,
+			ActAudio:     8,
+		}
+	})
+	return c.mix, c.median, c.risk
+}
+
+// DefaultConfig returns the calibration used for the headline reproduction.
+//
+// The activity maps in the returned Config are shared, immutable tables;
+// to customise one, assign a fresh map rather than mutating in place.
+func DefaultConfig(seed uint64) Config {
+	mix, median, risk := defaultTables()
+	return Config{
+		Seed:      seed,
+		OSVersion: "8.0",
+
+		ActivitiesPerDay:       18,
+		ActivityMix:            mix,
+		ActivityMedianDuration: median,
 		ActivitySigma:         0.7,
 		LingerProb:            0.12,
 		WakeHour:              7,
@@ -240,18 +280,7 @@ func DefaultConfig(seed uint64) Config {
 		BatteryPullOffSigma:    0.7,
 
 		PanicOpportunityPerHour: 1.0 / 700,
-		ActivityRisk: map[Activity]float64{
-			ActIdle:      1,
-			ActVoiceCall: 80,
-			ActMessage:   28,
-			ActBluetooth: 14,
-			ActCamera:    12,
-			ActNav:       8,
-			ActBrowseFS:  6,
-			ActContacts:  4,
-			ActClock:     3,
-			ActAudio:     8,
-		},
+		ActivityRisk:            risk,
 		CallOnlyBias:    0.26,
 		MessageOnlyBias: 0.04,
 		BurstProb:       0.13,

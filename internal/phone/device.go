@@ -74,6 +74,12 @@ type Device struct {
 	fileSrv  *symbos.FileServer
 	props    *symbos.PropertyBus
 
+	// srvScratch is reused by the firmware server handlers to build
+	// response descriptors without per-request formatting garbage. Handlers
+	// run synchronously on the device's single simulated CPU, so one buffer
+	// per device suffices.
+	srvScratch []byte
+
 	activityLog     []ActivityRecord
 	currentActivity Activity
 	activityToken   int

@@ -1,6 +1,7 @@
 package phone
 
 import (
+	"sync"
 	"time"
 
 	"symfail/internal/symbos"
@@ -41,25 +42,55 @@ const (
 type faultModel struct {
 	d *Device
 
+	// The profile tables and their weight vectors alias the shared
+	// package-level tables — they are pure Table 2 constants, identical
+	// for every device, and building them per device cost ~4KB × fleet
+	// size at the million-phone scale.
 	anyP, callP, msgP []faultProfile
+	anyW, callW, msgW []float64
 
 	inBurst        bool
 	burstRemaining int
 	outcomeByKey   map[string]faultProfile
 }
 
+// sharedFaultTables holds the device-independent defect-class tables,
+// built once on first use. Read-only after construction, so sharing them
+// across devices (and shards) is safe.
+var sharedFaultTables struct {
+	once              sync.Once
+	anyP, callP, msgP []faultProfile
+	anyW, callW, msgW []float64
+	outcomeByKey      map[string]faultProfile
+}
+
 func newFaultModel(d *Device) *faultModel {
-	f := &faultModel{d: d, outcomeByKey: make(map[string]faultProfile)}
+	t := &sharedFaultTables
+	t.once.Do(buildFaultTables)
+	return &faultModel{
+		d:    d,
+		anyP: t.anyP, callP: t.callP, msgP: t.msgP,
+		anyW: t.anyW, callW: t.callW, msgW: t.msgW,
+		outcomeByKey: t.outcomeByKey,
+	}
+}
+
+func buildFaultTables() {
+	t := &sharedFaultTables
+	t.outcomeByKey = make(map[string]faultProfile)
 	add := func(ctx contextClass, p faultProfile) {
 		switch ctx {
 		case ctxCallOnly:
-			f.callP = append(f.callP, p)
+			t.callP = append(t.callP, p)
+			t.callW = append(t.callW, p.weight)
 		case ctxMessageOnly:
-			f.msgP = append(f.msgP, p)
+			t.msgP = append(t.msgP, p)
+			t.msgW = append(t.msgW, p.weight)
 		default:
-			f.anyP = append(f.anyP, p)
+			t.anyP = append(t.anyP, p)
+			t.anyW = append(t.anyW, p.weight)
 		}
-		f.outcomeByKey[symbos.PanicKey(p.cat, p.typ)] = p
+		t.outcomeByKey[symbos.PanicKey(p.cat, p.typ)] = p
 	}
 
 	// Weights are the paper's Table 2 percentages; outcome probabilities
@@ -89,16 +120,11 @@ func newFaultModel(d *Device) *faultModel {
 	add(ctxCallOnly, faultProfile{symbos.CatViewSrv, symbos.TypeViewSrvStarved, 2.53, 0.60, 0, (*faultModel).injectViewSrvStarvation})
 
 	add(ctxMessageOnly, faultProfile{symbos.CatPhoneApp, symbos.TypePhoneAppInternal, 0.25, 0, 1.0, (*faultModel).injectPhoneAppAssert})
-
-	return f
 }
 
-// pick draws a profile from a set, weighted by Table 2 frequency.
-func (f *faultModel) pick(set []faultProfile) faultProfile {
-	weights := make([]float64, len(set))
-	for i, p := range set {
-		weights[i] = p.weight
-	}
+// pick draws a profile from a set, weighted by Table 2 frequency. weights
+// is the set's precomputed weight vector (same order).
+func (f *faultModel) pick(set []faultProfile, weights []float64) faultProfile {
 	return set[f.d.rng.WeightedIndex(weights)]
 }
 
@@ -110,18 +136,18 @@ func (f *faultModel) trigger() {
 	switch d.currentActivity {
 	case ActVoiceCall:
 		if d.rng.Bool(d.cfg.CallOnlyBias) {
-			p = f.pick(f.callP)
+			p = f.pick(f.callP, f.callW)
 		} else {
-			p = f.pick(f.anyP)
+			p = f.pick(f.anyP, f.anyW)
 		}
 	case ActMessage:
 		if d.rng.Bool(d.cfg.MessageOnlyBias) {
-			p = f.pick(f.msgP)
+			p = f.pick(f.msgP, f.msgW)
 		} else {
-			p = f.pick(f.anyP)
+			p = f.pick(f.anyP, f.anyW)
 		}
 	default:
-		p = f.pick(f.anyP)
+		p = f.pick(f.anyP, f.anyW)
 	}
 	f.inBurst = false
 	p.inject(f)
@@ -198,7 +224,7 @@ func (f *faultModel) scheduleFollower() {
 			return
 		}
 		f.inBurst = true
-		p := f.pick(f.anyP)
+		p := f.pick(f.anyP, f.anyW)
 		p.inject(f)
 		f.inBurst = false
 	})

@@ -29,19 +29,20 @@ var personaMix = []struct {
 	{PersonaPower, 14},
 }
 
-// ApplyPersona rescales a balanced config in place.
+// ApplyPersona rescales a balanced config in place. Personas that adjust
+// the activity mix replace cfg.ActivityMix with a scaled clone rather
+// than writing through it: DefaultConfig hands out a shared table, and a
+// write there would leak one device's persona into every other phone.
 func ApplyPersona(cfg *Config, p Persona) {
 	cfg.Persona = p
 	switch p {
 	case PersonaCaller:
 		cfg.ActivitiesPerDay *= 1.25
-		cfg.ActivityMix[ActVoiceCall] *= 1.8
-		cfg.ActivityMix[ActMessage] *= 0.7
+		cfg.ActivityMix = scaledMix(cfg.ActivityMix, map[Activity]float64{ActVoiceCall: 1.8, ActMessage: 0.7})
 		cfg.NightOffProb *= 0.8
 	case PersonaTexter:
 		cfg.ActivitiesPerDay *= 1.15
-		cfg.ActivityMix[ActVoiceCall] *= 0.6
-		cfg.ActivityMix[ActMessage] *= 1.9
+		cfg.ActivityMix = scaledMix(cfg.ActivityMix, map[Activity]float64{ActVoiceCall: 0.6, ActMessage: 1.9})
 	case PersonaLight:
 		cfg.ActivitiesPerDay *= 0.55
 		cfg.NightOffProb = minF(1, cfg.NightOffProb*2.2)
@@ -50,9 +51,7 @@ func ApplyPersona(cfg *Config, p Persona) {
 		cfg.SpontaneousShutdownPerHour *= 0.85
 	case PersonaPower:
 		cfg.ActivitiesPerDay *= 1.5
-		cfg.ActivityMix[ActCamera] *= 1.6
-		cfg.ActivityMix[ActBluetooth] *= 1.8
-		cfg.ActivityMix[ActNav] *= 1.7
+		cfg.ActivityMix = scaledMix(cfg.ActivityMix, map[Activity]float64{ActCamera: 1.6, ActBluetooth: 1.8, ActNav: 1.7})
 		cfg.PanicOpportunityPerHour *= 1.3
 		cfg.SpontaneousFreezePerHour *= 1.2
 		cfg.SpontaneousShutdownPerHour *= 1.2
@@ -60,6 +59,21 @@ func ApplyPersona(cfg *Config, p Persona) {
 	default:
 		cfg.Persona = PersonaBalanced
 	}
+}
+
+// scaledMix clones a mix and multiplies the weights of the listed
+// activities by the paired factors. Activities absent from the mix stay
+// absent — a zero-weight entry and a missing one are equivalent to the
+// workload sampler.
+func scaledMix(m map[Activity]float64, scales map[Activity]float64) map[Activity]float64 {
+	out := make(map[Activity]float64, len(m))
+	for a, w := range m {
+		if f, ok := scales[a]; ok {
+			w *= f
+		}
+		out[a] = w
+	}
+	return out
 }
 
 func minF(a, b float64) float64 {

@@ -1,7 +1,6 @@
 package phone
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -50,17 +49,30 @@ type ActivityRecord struct {
 // Ongoing reports whether the activity is still in progress.
 func (a ActivityRecord) Ongoing() bool { return a.End == sim.Never }
 
-// encodeActivity serialises records for the OpRecentActivity response.
-func encodeActivity(recs []ActivityRecord) string {
-	parts := make([]string, 0, len(recs))
-	for _, r := range recs {
+// appendActivity serialises records for the OpRecentActivity response into
+// dst ("kind@start:end;...") — the hot path builds the descriptor in the
+// device's scratch buffer instead of Sprintf+Join garbage.
+func appendActivity(dst []byte, recs []ActivityRecord) []byte {
+	for i, r := range recs {
+		if i > 0 {
+			dst = append(dst, ';')
+		}
 		end := int64(-1)
 		if !r.Ongoing() {
 			end = int64(r.End)
 		}
-		parts = append(parts, fmt.Sprintf("%s@%d:%d", r.Kind, int64(r.Start), end))
+		dst = append(dst, string(r.Kind)...)
+		dst = append(dst, '@')
+		dst = strconv.AppendInt(dst, int64(r.Start), 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, end, 10)
 	}
-	return strings.Join(parts, ";")
+	return dst
+}
+
+// encodeActivity serialises records for the OpRecentActivity response.
+func encodeActivity(recs []ActivityRecord) string {
+	return string(appendActivity(nil, recs))
 }
 
 // DecodeActivity parses an OpRecentActivity response. Malformed entries are
@@ -120,7 +132,10 @@ func (d *Device) startServers() {
 	d.dbLog = symbos.NewServer(d.kernel, SrvDBLog, true, func(m *symbos.Message) {
 		switch m.Op {
 		case OpRecentActivity:
-			m.Respond(encodeActivity(d.recentActivity(10)))
+			// Encode straight from the log tail: the handler runs
+			// synchronously, so no defensive copy is needed.
+			d.srvScratch = appendActivity(d.srvScratch[:0], d.recentActivityView(10))
+			m.Respond(string(d.srvScratch))
 			m.Complete(symbos.KErrNone)
 		case OpPing:
 			m.Complete(symbos.KErrNone)
@@ -138,7 +153,10 @@ func (d *Device) startServers() {
 			if d.battery <= d.cfg.LowBatteryThreshold {
 				status = "low"
 			}
-			m.Respond(fmt.Sprintf("%s %.2f", status, d.battery))
+			d.srvScratch = append(d.srvScratch[:0], status...)
+			d.srvScratch = append(d.srvScratch, ' ')
+			d.srvScratch = strconv.AppendFloat(d.srvScratch, d.battery, 'f', 2, 64)
+			m.Respond(string(d.srvScratch))
 			m.Complete(symbos.KErrNone)
 		case OpPing:
 			m.Complete(symbos.KErrNone)
@@ -203,10 +221,16 @@ func (d *Device) recordActivityEnd(kind Activity) {
 
 // recentActivity returns up to n most recent records, oldest first.
 func (d *Device) recentActivity(n int) []ActivityRecord {
+	return append([]ActivityRecord(nil), d.recentActivityView(n)...)
+}
+
+// recentActivityView is recentActivity without the defensive copy — for
+// synchronous read-only consumers like the Database Log Server handler.
+func (d *Device) recentActivityView(n int) []ActivityRecord {
 	if len(d.activityLog) <= n {
-		return append([]ActivityRecord(nil), d.activityLog...)
+		return d.activityLog
 	}
-	return append([]ActivityRecord(nil), d.activityLog[len(d.activityLog)-n:]...)
+	return d.activityLog[len(d.activityLog)-n:]
 }
 
 // publishBattery pushes the battery state onto the property bus (what the

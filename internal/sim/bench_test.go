@@ -41,7 +41,7 @@ func BenchmarkEngineTimerWheelPattern(b *testing.B) {
 
 func BenchmarkEngineCancel(b *testing.B) {
 	e := NewEngine()
-	evs := make([]*Event, 0, 1024)
+	evs := make([]Event, 0, 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if len(evs) == cap(evs) {

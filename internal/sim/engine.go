@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -15,25 +14,82 @@ type Duration = time.Duration
 // limit was reached.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// Event is a scheduled callback. Handles returned by the scheduling methods
-// can be used to cancel the event before it fires.
+// eventNode is the engine-owned storage behind an Event handle. Nodes are
+// pooled on a per-engine free list: once an event fires or is cancelled its
+// node is recycled for the next Schedule, so the steady-state event cycle
+// allocates nothing. The generation counter is what keeps recycling safe —
+// it is bumped exactly when the node is released, so every handle ever
+// issued for a previous incarnation goes stale atomically.
+type eventNode struct {
+	when  Time
+	seq   uint64 // tie-break so equal-time events fire in schedule order
+	gen   uint64 // incarnation; Event handles capture it at issue time
+	fn    func()
+	label string
+
+	// Intrusive links. In the wheel the node sits on exactly one doubly
+	// linked list (a slot, the ready list, or the overflow level); on the
+	// free list only next is used. The reference heap uses heapIndex.
+	next, prev *eventNode
+	home       int8 // one of homeFree..homeOverflow
+	lvl, slot  int8 // wheel slot coordinates when home == homeSlot
+	heapIndex  int32
+}
+
+// Node homes.
+const (
+	homeFree int8 = iota
+	homeReady
+	homeSlot
+	homeOverflow
+	homeHeap
+)
+
+// Event is a cancellable handle to a scheduled callback, returned by the
+// scheduling methods. It is a value: copy it freely, compare it to the zero
+// Event to mean "no event". The handle stays valid forever — once the event
+// fires or is cancelled the handle merely reports Pending() == false and
+// Cancel becomes a no-op, even though the engine has long recycled the
+// underlying node for another event (the generation captured at scheduling
+// time can never match a recycled node again).
 type Event struct {
-	when   Time
-	seq    uint64 // tie-break so equal-time events fire in schedule order
-	index  int    // heap index, -1 once fired or cancelled
-	fn     func()
-	label  string
-	cancel bool
+	n     *eventNode
+	gen   uint64
+	when  Time
+	label string
 }
 
 // When returns the instant the event is (or was) scheduled for.
-func (e *Event) When() Time { return e.when }
+func (e Event) When() Time { return e.when }
 
 // Label returns the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+func (e Event) Label() string { return e.label }
 
 // Pending reports whether the event is still waiting to fire.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+func (e Event) Pending() bool { return e.n != nil && e.n.gen == e.gen }
+
+// eventQueue is the contract between the engine and its pending-event
+// store. Two implementations exist: the hierarchical timing wheel (the
+// default — O(1) schedule and amortised O(1) pop with small per-slot
+// sorts) and the binary heap retained as the differential-testing
+// reference. Both must fire events in exactly (when, seq) order; the
+// wheel-vs-heap property and fuzz tests hold them to the byte.
+type eventQueue interface {
+	// Len returns the number of pending events.
+	Len() int
+	// Schedule inserts a node (when >= now holds; the engine clamps).
+	// now lets an implementation resync its cursor after idle gaps.
+	Schedule(n *eventNode, now Time)
+	// Remove unlinks a pending node (the node is guaranteed pending).
+	Remove(n *eventNode)
+	// PopMin removes and returns the minimum (when, seq) node, or nil.
+	PopMin() *eventNode
+	// PeekWhen returns the minimum pending when. It may advance internal
+	// cursors but must not change which events are pending or their order.
+	PeekWhen() (Time, bool)
+	// name labels the implementation for diagnostics.
+	name() string
+}
 
 // Engine is a single-threaded discrete-event scheduler.
 //
@@ -47,17 +103,29 @@ func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
 // share an engine, schedule onto each other's engines, or touch each
 // other's state; cross-shard results are combined only after the shards
 // finish, through an order-independent merge (see internal/collect).
+//
+// The single-goroutine contract is also what makes the event pool safe:
+// nodes recycled by this engine can only ever be re-issued by this engine,
+// on this goroutine, so a handle's generation check is race-free.
 type Engine struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
 	stopped bool
 	fired   uint64
+	free    *eventNode
 }
 
-// NewEngine returns an engine whose clock reads Epoch.
+// NewEngine returns an engine whose clock reads Epoch, backed by the
+// hierarchical timing wheel.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{queue: newWheel()}
+}
+
+// newEngineWithQueue builds an engine over an explicit queue implementation
+// (the differential tests drive a heap-backed engine against the wheel).
+func newEngineWithQueue(q eventQueue) *Engine {
+	return &Engine{queue: q}
 }
 
 // Now returns the current virtual time.
@@ -69,48 +137,79 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// alloc takes a node from the free list, or makes one.
+func (e *Engine) alloc() *eventNode {
+	n := e.free
+	if n == nil {
+		return &eventNode{}
+	}
+	e.free = n.next
+	n.next = nil
+	return n
+}
+
+// release recycles a node whose event fired or was cancelled. Bumping the
+// generation here is the single point that invalidates every outstanding
+// handle to the old incarnation.
+func (e *Engine) release(n *eventNode) {
+	n.gen++
+	n.fn = nil
+	n.label = ""
+	n.prev = nil
+	n.home = homeFree
+	n.next = e.free
+	e.free = n
+}
+
 // At schedules fn to run at instant t. Scheduling in the past (before Now)
 // is an error in the model, so it fires immediately at the current time
 // instead of silently rewinding the clock.
-func (e *Engine) At(t Time, label string, fn func()) *Event {
+func (e *Engine) At(t Time, label string, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn, label: label}
+	n := e.alloc()
+	n.when = t
+	n.seq = e.seq
+	n.fn = fn
+	n.label = label
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.Schedule(n, e.now)
+	return Event{n: n, gen: n.gen, when: t, label: label}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, label string, fn func()) *Event {
+func (e *Engine) After(d Duration, label string, fn func()) Event {
 	return e.At(e.now.Add(d), label, fn)
 }
 
 // Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op. It reports whether the event was actually cancelled.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.cancel || ev.index < 0 {
+// event is a no-op — the handle's generation no longer matches the node's,
+// however the node has been recycled since. It reports whether the event
+// was actually cancelled.
+func (e *Engine) Cancel(ev Event) bool {
+	if ev.n == nil || ev.n.gen != ev.gen {
 		return false
 	}
-	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	e.queue.Remove(ev.n)
+	e.release(ev.n)
 	return true
 }
 
 // Step fires the next event, advancing the clock to its timestamp.
 // It reports whether an event was available.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	n := e.queue.PopMin()
+	if n == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	if ev.cancel {
-		return e.Step()
-	}
-	e.now = ev.when
+	e.now = n.when
 	e.fired++
-	ev.fn()
+	fn := n.fn
+	// Release before running so a self-re-arming callback (the dominant
+	// workload shape: heartbeats, periodic uploads) reuses this very node.
+	e.release(n)
+	fn()
 	return true
 }
 
@@ -124,13 +223,13 @@ func (e *Engine) Run(until Time) error {
 		if e.stopped {
 			return ErrStopped
 		}
-		if e.queue.Len() == 0 {
+		next, ok := e.queue.PeekWhen()
+		if !ok {
 			if e.now < until {
 				e.now = until
 			}
 			return nil
 		}
-		next := e.queue[0].when
 		if next > until {
 			e.now = until
 			return nil
@@ -155,39 +254,100 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // String summarises engine state for diagnostics.
 func (e *Engine) String() string {
-	return fmt.Sprintf("engine{now=%s pending=%d fired=%d}", e.now, e.queue.Len(), e.fired)
+	return fmt.Sprintf("engine{now=%s pending=%d fired=%d queue=%s}",
+		e.now, e.queue.Len(), e.fired, e.queue.name())
 }
 
-// eventQueue implements container/heap ordered by (when, seq).
-type eventQueue []*Event
+// heapQueue is the binary-heap reference implementation, ordered by
+// (when, seq). It predates the timing wheel and is retained as the oracle
+// the wheel is differentially tested against.
+type heapQueue struct {
+	nodes []*eventNode
+}
 
-func (q eventQueue) Len() int { return len(q) }
+func newHeapQueue() *heapQueue { return &heapQueue{} }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
+func (q *heapQueue) name() string { return "heap" }
+
+func (q *heapQueue) Len() int { return len(q.nodes) }
+
+func (q *heapQueue) less(i, j int) bool {
+	a, b := q.nodes[i], q.nodes[j]
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (q *heapQueue) swap(i, j int) {
+	q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i]
+	q.nodes[i].heapIndex = int32(i)
+	q.nodes[j].heapIndex = int32(j)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+func (q *heapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+func (q *heapQueue) down(i int) {
+	n := len(q.nodes)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
+}
+
+func (q *heapQueue) Schedule(n *eventNode, _ Time) {
+	n.home = homeHeap
+	n.heapIndex = int32(len(q.nodes))
+	q.nodes = append(q.nodes, n)
+	q.up(len(q.nodes) - 1)
+}
+
+func (q *heapQueue) Remove(n *eventNode) {
+	i := int(n.heapIndex)
+	last := len(q.nodes) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.nodes[last] = nil
+	q.nodes = q.nodes[:last]
+	if i != last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *heapQueue) PopMin() *eventNode {
+	if len(q.nodes) == 0 {
+		return nil
+	}
+	n := q.nodes[0]
+	q.Remove(n)
+	return n
+}
+
+func (q *heapQueue) PeekWhen() (Time, bool) {
+	if len(q.nodes) == 0 {
+		return 0, false
+	}
+	return q.nodes[0].when, true
 }

@@ -1,0 +1,319 @@
+package sim
+
+import "math/bits"
+
+// Hierarchical timing wheel — the engine's default event queue.
+//
+// Virtual time is bucketed into ticks of 2^tickShift ns (~1.07 s). Three
+// levels of 64 slots each cover, per level, a window of 64, 64², and 64³
+// ticks (~69 s, ~73 min, ~78 h); events beyond the day level go to a
+// sorted overflow list. An event's level is the highest 6-bit tick group
+// in which it differs from the cursor, so a slot never mixes ticks from
+// two windows: by the time the cursor reaches a level-0 slot, every node
+// in it has tick == cur exactly.
+//
+// The cursor advances lazily, driven by PeekWhen/PopMin. Within a window
+// it jumps straight to the next occupied slot via the per-level occupancy
+// bitmap; at each 64-tick boundary it cascades one slot down from the
+// level above (and, at the larger boundaries, from level 2 and from the
+// overflow prefix that newly fits the wheel — overflow first, so a far
+// event can fall through every level in one crossing). Events whose tick
+// has been reached sit in "ready", a doubly linked list kept sorted by
+// (when, seq): a tick is ~1.07 s wide, so same-tick events still need
+// sub-tick ordering, and the sorted list is what restores it. Pops are
+// O(1) off the ready head.
+//
+// Costs: Schedule and Remove are O(1) except for sorted inserts into
+// ready (tail-scan — same-instant bursts append in seq order, so the
+// common case is O(1)) and into overflow (rare: only events > ~3.26 days
+// out). Advance is amortised O(1) per event plus O(idle-gap / 64) for
+// boundary crossings, which is negligible at simulation density.
+type wheel struct {
+	cur   int64 // current tick (when >> tickShift); never decreases while events are pending
+	count int   // total pending nodes across ready, slots, and overflow
+
+	ready     *eventNode // sorted (when, seq); every node has tick <= cur
+	readyTail *eventNode
+
+	// Slot lists are prepend-only (LIFO) so no per-slot tail pointer is
+	// needed — with a wheel per device, a second [3][64] pointer array
+	// costs 1.5KB × fleet size. Drain reverses the list before re-placing
+	// so downstream sorted inserts still see near-FIFO input.
+	slots [wheelLevels][slotsPerLevel]*eventNode
+	occ   [wheelLevels]uint64 // bit s set iff slots[lvl][s] is non-empty
+
+	of     *eventNode // sorted (when, seq); every node has tick >= cur + 64^3
+	ofTail *eventNode
+}
+
+const (
+	tickShift     = 30 // tick width 2^30 ns ≈ 1.07 s
+	slotBits      = 6
+	slotsPerLevel = 1 << slotBits
+	slotMask      = slotsPerLevel - 1
+	wheelLevels   = 3
+)
+
+func newWheel() *wheel { return &wheel{} }
+
+func (w *wheel) name() string { return "wheel" }
+
+func (w *wheel) Len() int { return w.count }
+
+func (w *wheel) Schedule(n *eventNode, now Time) {
+	if w.count == 0 {
+		// Nothing pending constrains the cursor, so resync it to the
+		// clock: after an idle gap this skips the dead windows instead
+		// of cascading through them one boundary at a time.
+		w.cur = int64(now) >> tickShift
+	}
+	w.place(n)
+	w.count++
+}
+
+// place links a node into the structure that matches its distance from
+// the cursor. Levels are chosen by the highest differing 6-bit tick
+// group, not by raw delta: mid-window, a delta-based rule would wrap a
+// near-boundary event into a slot the cursor has already passed this
+// rotation, and it would fire a full rotation late.
+func (w *wheel) place(n *eventNode) {
+	tick := int64(n.when) >> tickShift
+	switch {
+	case tick <= w.cur:
+		w.insertReady(n)
+	case tick>>slotBits == w.cur>>slotBits:
+		w.insertSlot(n, 0, int(tick&slotMask))
+	case tick>>(2*slotBits) == w.cur>>(2*slotBits):
+		w.insertSlot(n, 1, int((tick>>slotBits)&slotMask))
+	case tick>>(3*slotBits) == w.cur>>(3*slotBits):
+		w.insertSlot(n, 2, int((tick>>(2*slotBits))&slotMask))
+	default:
+		w.insertOverflow(n)
+	}
+}
+
+func nodeLess(a, b *eventNode) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// insertReady does a sorted insert scanning from the tail: drains feed
+// nodes in seq order and same-instant schedules carry increasing seqs,
+// so new nodes nearly always belong at or near the end.
+func (w *wheel) insertReady(n *eventNode) {
+	n.home = homeReady
+	p := w.readyTail
+	for p != nil && nodeLess(n, p) {
+		p = p.prev
+	}
+	if p == nil {
+		n.prev = nil
+		n.next = w.ready
+		if w.ready != nil {
+			w.ready.prev = n
+		} else {
+			w.readyTail = n
+		}
+		w.ready = n
+		return
+	}
+	n.prev = p
+	n.next = p.next
+	if p.next != nil {
+		p.next.prev = n
+	} else {
+		w.readyTail = n
+	}
+	p.next = n
+}
+
+func (w *wheel) insertOverflow(n *eventNode) {
+	n.home = homeOverflow
+	p := w.ofTail
+	for p != nil && nodeLess(n, p) {
+		p = p.prev
+	}
+	if p == nil {
+		n.prev = nil
+		n.next = w.of
+		if w.of != nil {
+			w.of.prev = n
+		} else {
+			w.ofTail = n
+		}
+		w.of = n
+		return
+	}
+	n.prev = p
+	n.next = p.next
+	if p.next != nil {
+		p.next.prev = n
+	} else {
+		w.ofTail = n
+	}
+	p.next = n
+}
+
+// insertSlot prepends to the slot's list. Order within a slot is free:
+// sub-tick ordering is restored by the sorted ready insert at drain time.
+func (w *wheel) insertSlot(n *eventNode, lvl, slot int) {
+	n.home = homeSlot
+	n.lvl, n.slot = int8(lvl), int8(slot)
+	n.prev = nil
+	n.next = w.slots[lvl][slot]
+	if n.next != nil {
+		n.next.prev = n
+	} else {
+		w.occ[lvl] |= 1 << uint(slot)
+	}
+	w.slots[lvl][slot] = n
+}
+
+func (w *wheel) Remove(n *eventNode) {
+	switch n.home {
+	case homeReady:
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			w.ready = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			w.readyTail = n.prev
+		}
+	case homeOverflow:
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			w.of = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			w.ofTail = n.prev
+		}
+	case homeSlot:
+		lvl, slot := int(n.lvl), int(n.slot)
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			w.slots[lvl][slot] = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		}
+		if w.slots[lvl][slot] == nil {
+			w.occ[lvl] &^= 1 << uint(slot)
+		}
+	}
+	n.next, n.prev = nil, nil
+	w.count--
+}
+
+func (w *wheel) PopMin() *eventNode {
+	w.advance()
+	n := w.ready
+	if n == nil {
+		return nil
+	}
+	w.ready = n.next
+	if w.ready != nil {
+		w.ready.prev = nil
+	} else {
+		w.readyTail = nil
+	}
+	n.next = nil
+	w.count--
+	return n
+}
+
+func (w *wheel) PeekWhen() (Time, bool) {
+	w.advance()
+	if w.ready == nil {
+		return 0, false
+	}
+	return w.ready.when, true
+}
+
+// advance moves the cursor forward until the earliest pending event sits
+// in ready (or nothing is pending). It only rearranges nodes between the
+// wheel's internal lists — the pending set and its fire order are
+// unchanged, which is what lets PeekWhen share it.
+func (w *wheel) advance() {
+	for w.ready == nil && w.count > 0 {
+		if w.occ[0] != 0 {
+			// Occupied level-0 slots always lie strictly ahead of the
+			// cursor's position in the current window (a tick at or
+			// behind the cursor would have been placed in ready), so
+			// the lowest set bit is the next event's slot.
+			s := bits.TrailingZeros64(w.occ[0])
+			w.cur = w.cur&^slotMask | int64(s)
+			w.drain(0, s)
+			continue
+		}
+		// Level 0 exhausted: cross into the next window and cascade.
+		w.cur = w.cur&^slotMask + slotsPerLevel
+		w.cascade()
+	}
+}
+
+// cascade runs at a window boundary (cur is a multiple of 64). Larger
+// structures are drained before smaller ones so that a node can fall the
+// whole way — overflow into level 2, level 2 into level 1, level 1 into
+// level 0 or ready — within this one crossing.
+func (w *wheel) cascade() {
+	c := w.cur
+	if c&(1<<(3*slotBits)-1) == 0 {
+		// Entered a new day-level window: the overflow prefix whose
+		// ticks now share cur's top group fits the wheel. The list is
+		// sorted, so the prefix is exactly the nodes below the window
+		// end.
+		limit := c + 1<<(3*slotBits)
+		for w.of != nil && int64(w.of.when)>>tickShift < limit {
+			n := w.of
+			w.of = n.next
+			if w.of != nil {
+				w.of.prev = nil
+			} else {
+				w.ofTail = nil
+			}
+			n.next = nil
+			w.place(n)
+		}
+	}
+	if c&(1<<(2*slotBits)-1) == 0 {
+		w.drain(2, int(c>>(2*slotBits))&slotMask)
+	}
+	w.drain(1, int(c>>slotBits)&slotMask)
+}
+
+// drain empties one slot and re-places every node. For a level-0 slot the
+// cursor has just reached, every node has tick == cur, so place routes
+// them into ready; for higher levels they drop one level (or further).
+func (w *wheel) drain(lvl, slot int) {
+	n := w.slots[lvl][slot]
+	if n == nil {
+		return
+	}
+	w.slots[lvl][slot] = nil
+	w.occ[lvl] &^= 1 << uint(slot)
+	// The slot list is LIFO; reverse it so nodes re-place in insertion
+	// order and the tail-scanning sorted inserts below stay O(1) for the
+	// common ascending-seq case.
+	var rev *eventNode
+	for n != nil {
+		next := n.next
+		n.next = rev
+		rev = n
+		n = next
+	}
+	for rev != nil {
+		next := rev.next
+		rev.next, rev.prev = nil, nil
+		w.place(rev)
+		rev = next
+	}
+}

@@ -2,7 +2,6 @@ package symbos
 
 import (
 	"fmt"
-	"sort"
 
 	"symfail/internal/sim"
 )
@@ -37,10 +36,23 @@ type ActiveScheduler struct {
 	aos    []*ActiveObject
 	seq    int
 	down   bool
+
+	// Interned wake-up event: Complete schedules the same label and
+	// closure thousands of times per simulated hour, so both are built
+	// once here instead of once per completion.
+	wakeLabel  string
+	wakeFn     func()
+	dispatchFn func()
 }
 
 func newActiveScheduler(t *Thread) *ActiveScheduler {
-	return &ActiveScheduler{thread: t}
+	s := &ActiveScheduler{thread: t}
+	s.wakeLabel = "active-scheduler " + t.name
+	s.dispatchFn = s.dispatchOne
+	s.wakeFn = func() {
+		t.proc.kernel.Exec(t, "dispatch", s.dispatchFn)
+	}
+	return s
 }
 
 // Thread returns the owning thread.
@@ -114,12 +126,8 @@ func (ao *ActiveObject) Complete(code int) {
 	}
 	ao.status = code
 	ao.complete = true
-	k := ao.thread.proc.kernel
-	k.eng.After(0, "active-scheduler "+ao.thread.name, func() {
-		k.Exec(ao.thread, "dispatch", func() {
-			ao.thread.scheduler.dispatchOne()
-		})
-	})
+	s := ao.thread.scheduler
+	ao.thread.proc.kernel.eng.After(0, s.wakeLabel, s.wakeFn)
 }
 
 // dispatchOne runs the highest-priority completed active object, if any.
@@ -128,17 +136,18 @@ func (s *ActiveScheduler) dispatchOne() {
 	if s.down {
 		return
 	}
-	var ready []*ActiveObject
-	for _, ao := range s.aos {
-		if ao.complete && !ao.dead {
-			ready = append(ready, ao)
+	// Highest priority wins; registration order breaks ties (the first
+	// maximum is exactly what the old stable descending sort picked, and
+	// the argmax scan allocates nothing).
+	var ao *ActiveObject
+	for _, cand := range s.aos {
+		if cand.complete && !cand.dead && (ao == nil || cand.priority > ao.priority) {
+			ao = cand
 		}
 	}
-	if len(ready) == 0 {
+	if ao == nil {
 		return
 	}
-	sort.SliceStable(ready, func(i, j int) bool { return ready[i].priority > ready[j].priority })
-	ao := ready[0]
 	ao.complete = false
 	if !ao.active {
 		s.thread.proc.kernel.Raise(CatE32UserCBase, TypeStraySignal,
@@ -169,13 +178,24 @@ func (s *ActiveScheduler) dispatchOne() {
 // KERN-EXEC 15.
 type Timer struct {
 	ao          *ActiveObject
-	ev          *sim.Event
+	ev          sim.Event
 	outstanding bool
+
+	// Interned per-timer event label and callback: heartbeat timers
+	// re-arm every simulated period, so After must not rebuild them.
+	label  string
+	fireFn func()
 }
 
 // NewTimer returns a timer completing into ao.
 func NewTimer(ao *ActiveObject) *Timer {
-	return &Timer{ao: ao}
+	tm := &Timer{ao: ao}
+	tm.label = "rtimer " + ao.name
+	tm.fireFn = func() {
+		tm.outstanding = false
+		tm.ao.Complete(KErrNone)
+	}
+	return tm
 }
 
 // Outstanding reports whether a timer event is pending.
@@ -192,10 +212,7 @@ func (tm *Timer) After(d sim.Duration) {
 	}
 	tm.outstanding = true
 	tm.ao.SetActive()
-	tm.ev = k.eng.After(d, "rtimer "+tm.ao.name, func() {
-		tm.outstanding = false
-		tm.ao.Complete(KErrNone)
-	})
+	tm.ev = k.eng.After(d, tm.label, tm.fireFn)
 }
 
 // Cancel withdraws the pending timer event (RTimer::Cancel).

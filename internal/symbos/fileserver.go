@@ -1,6 +1,9 @@
 package symbos
 
-import "strings"
+import (
+	"strconv"
+	"strings"
+)
 
 // The file server (F32). On Symbian every file operation is a
 // client/server request to the file server process; the paper's logger
@@ -15,6 +18,7 @@ const (
 	FsOpRead
 	FsOpDelete
 	FsOpExists
+	FsOpSize
 )
 
 // Store is the backing medium the file server manages (the phone package's
@@ -84,6 +88,18 @@ func (f *FileServer) handle(m *Message) {
 		} else {
 			m.Complete(KErrNotFound)
 		}
+	case FsOpSize:
+		if !f.store.Exists(m.Payload) {
+			m.Complete(KErrNotFound)
+			return
+		}
+		if sz, ok := f.store.(interface{ Size(path string) int }); ok {
+			m.Respond(strconv.Itoa(sz.Size(m.Payload)))
+		} else {
+			data, _ := f.store.Read(m.Payload)
+			m.Respond(strconv.Itoa(len(data)))
+		}
+		m.Complete(KErrNone)
 	default:
 		m.Complete(KErrNotSupported)
 	}
@@ -125,6 +141,22 @@ func (s *FileSession) ReadFile(path string) ([]byte, int) {
 		return nil, code
 	}
 	return []byte(resp), KErrNone
+}
+
+// SizeFile returns path's length in bytes without transferring its
+// contents (KErrNotFound when absent). Size-gated appenders — the
+// heartbeat and Log File writers check a rotation budget on every
+// append — must use this instead of ReadFile, which copies the file.
+func (s *FileSession) SizeFile(path string) (int, int) {
+	resp, code := s.sess.Query(FsOpSize, path)
+	if code != KErrNone {
+		return 0, code
+	}
+	n, err := strconv.Atoi(resp)
+	if err != nil {
+		return 0, KErrArgument
+	}
+	return n, KErrNone
 }
 
 // DeleteFile removes path.

@@ -46,11 +46,12 @@ type Message struct {
 	Client   string
 	Response string // set by Respond before Complete
 
-	server  *Server
-	kernel  *Kernel
-	replied bool
-	nullPtr bool
-	onReply func(code int)
+	server    *Server
+	kernel    *Kernel
+	replied   bool
+	nullPtr   bool
+	replyCode int           // completion code, read back by the sender
+	replyAO   *ActiveObject // async requests complete this on reply
 }
 
 // NullifyPtr corrupts the message's RMessagePtr (a modelled defect): the
@@ -73,8 +74,9 @@ func (m *Message) Complete(code int) {
 	}
 	m.replied = true
 	m.server.served++
-	if m.onReply != nil {
-		m.onReply(code)
+	m.replyCode = code
+	if m.replyAO != nil {
+		m.replyAO.Complete(code)
 	}
 }
 
@@ -85,13 +87,64 @@ type Session struct {
 	client *Thread
 	handle Handle
 	open   bool
+
+	// Synchronous requests are the hottest IPC path in the simulator, so
+	// each session interns its Exec label/closure and keeps one scratch
+	// Message. cur points serveFn at the request being dispatched; the
+	// busy flag falls nested (re-entrant) requests back to a fresh
+	// allocation, and every handler in the tree replies before returning
+	// (Exec recovers server panics), so the scratch never outlives a call.
+	serveLabel string
+	ipcLabel   string
+	serveFn    func()
+	cur        *Message
+	scratch    Message
+	busy       bool
 }
 
 // Connect opens a session from the client thread to the server
 // (RSessionBase::CreateSession).
 func (s *Server) Connect(client *Thread) *Session {
 	h := client.proc.OpenObject("session", s.name)
-	return &Session{server: s, client: client, handle: h, open: true}
+	sess := &Session{server: s, client: client, handle: h, open: true}
+	sess.serveLabel = "serve " + s.name
+	sess.ipcLabel = "ipc " + s.name
+	sess.serveFn = func() { sess.server.handler(sess.cur) }
+	return sess
+}
+
+// acquire readies a Message for one request — the session scratch when
+// free, a fresh allocation when a handler re-entered the same session.
+func (sess *Session) acquire(k *Kernel, op int, payload string) *Message {
+	m := &sess.scratch
+	if sess.busy {
+		m = &Message{}
+	} else {
+		sess.busy = true
+	}
+	*m = Message{
+		Op:        op,
+		Payload:   payload,
+		Client:    sess.client.proc.name,
+		server:    sess.server,
+		kernel:    k,
+		replyCode: KErrDisconnected, // a panicking server never replies
+	}
+	return m
+}
+
+func (sess *Session) release(m *Message) {
+	if m == &sess.scratch {
+		sess.busy = false
+	}
+}
+
+// dispatch runs the server handler on m in the server's thread context.
+func (sess *Session) dispatch(k *Kernel, m *Message) {
+	prev := sess.cur
+	sess.cur = m
+	k.Exec(sess.server.proc.main, sess.serveLabel, sess.serveFn)
+	sess.cur = prev
 }
 
 // Handle returns the session's raw handle in the client's object index.
@@ -115,18 +168,10 @@ func (sess *Session) SendReceive(op int, payload string) int {
 	if !sess.server.proc.alive {
 		return KErrDisconnected
 	}
-	m := &Message{
-		Op:      op,
-		Payload: payload,
-		Client:  sess.client.proc.name,
-		server:  sess.server,
-		kernel:  k,
-	}
-	code := KErrDisconnected
-	m.onReply = func(c int) { code = c }
-	k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
-		sess.server.handler(m)
-	})
+	m := sess.acquire(k, op, payload)
+	sess.dispatch(k, m)
+	code := m.replyCode
+	sess.release(m)
 	return code
 }
 
@@ -141,19 +186,11 @@ func (sess *Session) Query(op int, payload string) (string, int) {
 	if !sess.server.proc.alive {
 		return "", KErrDisconnected
 	}
-	m := &Message{
-		Op:      op,
-		Payload: payload,
-		Client:  sess.client.proc.name,
-		server:  sess.server,
-		kernel:  k,
-	}
-	code := KErrDisconnected
-	m.onReply = func(c int) { code = c }
-	k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
-		sess.server.handler(m)
-	})
-	return m.Response, code
+	m := sess.acquire(k, op, payload)
+	sess.dispatch(k, m)
+	resp, code := m.Response, m.replyCode
+	sess.release(m)
+	return resp, code
 }
 
 // SendAsync issues an asynchronous request whose reply completes ao. The
@@ -166,22 +203,22 @@ func (sess *Session) SendAsync(op int, payload string, ao *ActiveObject) {
 			fmt.Sprintf("SendAsync on closed session to %q", sess.server.name))
 	}
 	ao.SetActive()
+	// Async requests outlive this call, so the message cannot come from
+	// the session scratch.
 	m := &Message{
 		Op:      op,
 		Payload: payload,
 		Client:  sess.client.proc.name,
 		server:  sess.server,
 		kernel:  k,
+		replyAO: ao,
 	}
-	m.onReply = func(c int) { ao.Complete(c) }
-	k.eng.After(0, "ipc "+sess.server.name, func() {
+	k.eng.After(0, sess.ipcLabel, func() {
 		if !sess.server.proc.alive {
 			ao.Complete(KErrDisconnected)
 			return
 		}
-		k.Exec(sess.server.proc.main, "serve "+sess.server.name, func() {
-			sess.server.handler(m)
-		})
+		sess.dispatch(k, m)
 		if !m.replied {
 			// The server panicked mid-request; fail the client request.
 			ao.Complete(KErrDisconnected)

@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -37,6 +40,10 @@ type scalingCell struct {
 	// Speedup is PhoneHoursPerSec over the workers=1 cell of the same
 	// fleet size (1.0 for the serial cell itself).
 	Speedup float64 `json:"speedup"`
+	// RSSMB is the process resident set right after the cell's last run,
+	// before the fleet is released — the memory footprint of holding that
+	// many simulated devices live at once.
+	RSSMB float64 `json:"rssMB,omitempty"`
 }
 
 type scalingReport struct {
@@ -55,6 +62,35 @@ func scalingWorkerCounts() []int {
 	return counts
 }
 
+// benchGCPercent is the GOGC value for the ≥100k-phone cells; the
+// BENCH_GOGC env var overrides it for headroom experiments.
+func benchGCPercent() int {
+	if s := os.Getenv("BENCH_GOGC"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return 400
+}
+
+// readRSSMB returns the process resident set size in MiB from
+// /proc/self/statm, or 0 where that interface is unavailable.
+func readRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return float64(pages) * float64(os.Getpagesize()) / (1 << 20)
+}
+
 func BenchmarkFleetScaling(b *testing.B) {
 	grid := []struct {
 		phones   int
@@ -63,14 +99,32 @@ func BenchmarkFleetScaling(b *testing.B) {
 		{25, 2 * phone.StudyMonth},
 		{100, phone.StudyMonth},
 		{1000, phone.StudyMonth / 4},
+		// The large-fleet cells run a short horizon so total simulated work
+		// stays bounded; what they probe is that per-event cost and memory
+		// stay flat as the device count grows three orders of magnitude.
+		// Serial only: the sweep's worker story is told by the small cells.
+		{100_000, phone.StudyMonth / 60},
+		{1_000_000, phone.StudyMonth / 120},
 	}
 	report := scalingReport{GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
 	for _, g := range grid {
 		serialRate := 0.0
-		for _, workers := range scalingWorkerCounts() {
+		workerCounts := scalingWorkerCounts()
+		if g.phones >= 100_000 {
+			workerCounts = []int{1}
+		}
+		for _, workers := range workerCounts {
 			name := fmt.Sprintf("phones=%d/workers=%d", g.phones, workers)
 			var cell scalingCell
 			b.Run(name, func(b *testing.B) {
+				if g.phones >= 100_000 {
+					// A million live devices hold tens of GB; at the default
+					// GOGC the collector re-marks that live set every couple
+					// of GB of allocation and the mark, not the simulation,
+					// dominates. Trade headroom (the host has far more RAM
+					// than 4x the live set) for mark frequency.
+					defer debug.SetGCPercent(debug.SetGCPercent(benchGCPercent()))
+				}
 				var hours float64
 				for i := 0; i < b.N; i++ {
 					fs, err := RunFieldStudy(FieldStudyConfig{
@@ -84,19 +138,21 @@ func BenchmarkFleetScaling(b *testing.B) {
 						b.Fatal(err)
 					}
 					hours += fs.Fleet.ObservedHours()
+					if i == b.N-1 {
+						cell.RSSMB = readRSSMB() // fleet still live: footprint, not garbage
+					}
 				}
 				wall := b.Elapsed().Seconds()
-				cell = scalingCell{
-					Phones:      g.phones,
-					Workers:     workers,
-					Months:      float64(g.duration) / float64(phone.StudyMonth),
-					PhoneHours:  hours,
-					WallSeconds: wall,
-				}
+				cell.Phones = g.phones
+				cell.Workers = workers
+				cell.Months = float64(g.duration) / float64(phone.StudyMonth)
+				cell.PhoneHours = hours
+				cell.WallSeconds = wall
 				if wall > 0 {
 					cell.PhoneHoursPerSec = hours / wall
 				}
 				b.ReportMetric(cell.PhoneHoursPerSec, "phone-hours/s")
+				b.ReportMetric(cell.RSSMB, "RSS-MB")
 			})
 			if cell.Phones == 0 {
 				continue // sub-bench filtered out by -bench
@@ -117,8 +173,14 @@ func BenchmarkFleetScaling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_parallel.json", append(blob, '\n'), 0o644); err != nil {
+	// BENCH_PARALLEL_OUT redirects the report so `make bench-check` can
+	// measure a fresh grid without clobbering the committed baseline.
+	out := os.Getenv("BENCH_PARALLEL_OUT")
+	if out == "" {
+		out = "BENCH_parallel.json"
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("scaling grid written to BENCH_parallel.json (%d cells)", len(report.Cells))
+	b.Logf("scaling grid written to %s (%d cells)", out, len(report.Cells))
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package symfail
+
+// raceEnabled gates allocation-count assertions, which the race detector's
+// instrumentation distorts.
+const raceEnabled = true

@@ -140,7 +140,13 @@ func BenchmarkStudyStreamVsBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_analysis.json", append(blob, '\n'), 0o644); err != nil {
+	// BENCH_ANALYSIS_OUT redirects the report so `make bench-check` can
+	// measure a fresh grid without clobbering the committed baseline.
+	out := os.Getenv("BENCH_ANALYSIS_OUT")
+	if out == "" {
+		out = "BENCH_analysis.json"
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
 }
