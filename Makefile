@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet fuzz parallel stream test test-short bench bench-parallel bench-analysis bench-check repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet chaos-replica fuzz parallel stream test test-short bench bench-parallel bench-analysis bench-check repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -46,6 +46,14 @@ chaos-kill:
 # acknowledged record exactly once, whatever dies (DESIGN.md §13).
 chaos-fleet:
 	$(GO) test -race -run 'TestFleetKillAnything' -v .
+
+# The quorum replication harness: the three-shard fleet with write-time
+# R=3/W=2 replication, heartbeat failure detection and below-quorum
+# refusal, under the same kill-any-subset crossfire (plus Workers:4 and
+# the race detector) — zero acknowledged loss without crash handoff, and
+# no healthy shard ever confirmed dead (DESIGN.md §15).
+chaos-replica:
+	$(GO) test -race -run 'TestReplicaKillAnything' -v .
 
 # Fuzz the collection server's wire protocol end to end for a short burst
 # (panics and wedged servers fail the run; CI uses the seed corpus only).

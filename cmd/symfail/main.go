@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	symfail [-seed N] [-phones N] [-months N] [-workers N] [-tcp] [-servers N] [-fleet-kill N] [-quick]
+//	symfail [-seed N] [-phones N] [-months N] [-workers N] [-tcp] [-servers N] [-fleet-kill N] [-replicate R] [-quorum W] [-quick]
 package main
 
 import (
@@ -40,6 +40,8 @@ func run(args []string) error {
 		serverKill = fs.Int("server-kill", 0, "with -tcp: crash the collection server about every N uploads and recover it from its write-ahead log (0 = no crashes)")
 		servers    = fs.Int("servers", 1, "with -tcp: shard the collection tier across N servers behind a device-hash router (1 = the single durable server)")
 		fleetKill  = fs.Int("fleet-kill", 0, "with -tcp -servers N>1: about every N routed requests, kill an RNG-drawn subset of {shards, router} and recover/hand off (0 = no kills)")
+		replicate  = fs.Int("replicate", 0, "with -tcp -servers N>1: write-time replication factor R — every ACK covers R durable copies (0 = fleet default 3 capped at the membership, 1 = replication off)")
+		quorum     = fs.Int("quorum", 0, "with -replicate: write quorum W — the ACK needs W of the R copies WAL-synced; below W the fleet refuses writes with a retryable ERR (0 = min(2, R))")
 		quick      = fs.Bool("quick", false, "shortcut: 8 phones, 4 months (for smoke runs)")
 		extras     = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
 		export     = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
@@ -94,6 +96,26 @@ func run(args []string) error {
 			cfg.UploadEvery = 7 * 24 * time.Hour
 		}
 	}
+	if *replicate != 0 || *quorum != 0 {
+		if !*useTCP || *servers <= 1 {
+			return fmt.Errorf("-replicate/-quorum need -tcp and -servers > 1 (replication spans fleet shards)")
+		}
+		r := *replicate
+		if r == 0 {
+			r = 3
+		}
+		w := *quorum
+		if w == 0 {
+			if w = 2; w > r {
+				w = r
+			}
+		}
+		if r < 1 || w < 1 || w > r || r > *servers {
+			return fmt.Errorf("-replicate/-quorum need 1 <= W (%d) <= R (%d) <= servers (%d)", w, r, *servers)
+		}
+		cfg.Replicate = r
+		cfg.Quorum = w
+	}
 
 	fmt.Println("=== Section 4: high-level failure characterisation (web forums) ===")
 	fmt.Println()
@@ -147,6 +169,11 @@ func run(args []string) error {
 		if *fleetKill > 0 || cfg.Adversity.ServerCrash.Enabled() {
 			fmt.Printf("  %d shard crashes, %d restarts, %d router kills, %d handoffs (%d aborted, %d unplaced), %d devices migrated — zero acknowledged records lost\n",
 				fl.Crashes(), fl.Restarts(), fl.RouterKills(), fl.Handoffs(), fl.HandoffAborts(), fl.HandoffFailures(), fl.Migrated())
+		}
+		if fl.ReplicationFactor() > 1 {
+			fmt.Printf("  write quorum R=%d W=%d: %d suspicions (%d false), %d confirmed dead, %d repairs, %d below-quorum refusals over %d windows\n",
+				fl.ReplicationFactor(), fl.WriteQuorum(), fl.Suspicions(), fl.FalseSuspicions(),
+				fl.ConfirmedDead(), fl.Repairs(), fl.DegradedRequests(), fl.DegradedWindows())
 		}
 		fmt.Println()
 	}

@@ -22,13 +22,24 @@
 //	peer:   HANDOFF <device-id> log|stream <n-bytes> <crc32c-hex>\n  then n raw bytes
 //	server: OK\n on success, ERR <reason>\n otherwise
 //
+//	peer:   PING\n
+//	server: OK\n
+//
 // HANDOFF is the server-to-server leg of the sharded collection fleet
 // (see the fleet package): a dying or rebalancing shard replicates one
 // device's merged log ("log") or live chunk stream ("stream") onto a peer.
 // Handoffs go through the same WAL-sync-before-ACK commit path as uploads,
 // so a successful handoff is the same durable promise, and merging stays
 // idempotent — a handoff re-sent after a lost acknowledgement, or of data
-// the peer already holds, never duplicates records.
+// the peer already holds, never duplicates records. PING is the fleet's
+// heartbeat probe: a one-line liveness check the failure detector beats
+// against, answered without touching any durable state.
+//
+// With a write-quorum fleet (ServerConfig.Replicate) an UPLOAD or CHUNK is
+// additionally forwarded to the device's rendezvous successors after the
+// local WAL sync, and the OK goes on the wire only once a write quorum of
+// replicas has synced it; a quorum that cannot be met is a retryable
+// "ERR quorum ..." rejection (see IsBelowQuorum), never a false promise.
 //
 // UPLOAD is the legacy full-file transfer (still used for the final
 // collection at study end). CHUNK appends to a per-device server-side
@@ -195,6 +206,23 @@ type ServerConfig struct {
 	// CompactEvery triggers snapshot compaction once the WAL exceeds this
 	// many bytes (zero means 1 MiB). Only meaningful with a Store.
 	CompactEvery int
+
+	// Replicate, when set, is the write-quorum hook: after a verb has been
+	// WAL-synced locally (and merged into the dataset), the server calls it
+	// with the committed state — op ReplicateLog carries the device's
+	// resulting bytes (the full log for UPLOAD, the resulting stream for
+	// CHUNK), op ReplicateFin carries nil — and acknowledges on the wire
+	// only when it returns true. A false return means the write quorum was
+	// not met: the server replies a retryable "ERR quorum ..." instead of
+	// OK, keeping the committed state local (a later retry or anti-entropy
+	// repair re-replicates it; the canonical merge makes that harmless).
+	// The hook runs WITHOUT the server mutex held — it performs network
+	// round-trips to peer shards, and two shards replicating to each other
+	// while each holds its own mutex would deadlock — so the server
+	// re-checks its own liveness when the hook returns. ReplicateFin
+	// results are ignored (stream retirement is best-effort bookkeeping).
+	// Nil keeps the exact single-copy commit path.
+	Replicate func(op, deviceID string, state []byte) bool
 
 	// OnRecord, when set, is called for every record the server newly
 	// acknowledges — the live tap the streaming accumulators hang off.
@@ -373,9 +401,30 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleFin(conn, fields)
 	case "HANDOFF":
 		s.handleHandoff(conn, r, fields)
+	case "PING":
+		s.handlePing(conn)
 	default:
 		fmt.Fprint(conn, "ERR bad header\n")
 	}
+}
+
+// handlePing answers the fleet's heartbeat probe. A PING is deliberately
+// outside the supervisor's request accounting (it must not advance injected
+// kill schedules) and touches no durable state: it only proves the server
+// process is alive and accepting connections.
+func (s *Server) handlePing(conn net.Conn) {
+	if s.isDead() {
+		return
+	}
+	fmt.Fprint(conn, "OK\n")
+}
+
+// isDead reports whether this incarnation has been crashed (marked dead by
+// an injected kill, before its supervisor finishes the restart).
+func (s *Server) isDead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
 }
 
 // readLine reads one \n-terminated line of at most max bytes without ever
@@ -428,6 +477,13 @@ func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
 	if !s.commitLocked(walEntry{Op: opUpload, Dev: id, Data: data}) {
 		return // injected crash: the connection dies without a reply
 	}
+	if s.cfg.Replicate != nil {
+		if !s.replicateQuorumLocked(conn, ReplicateLog, id, data, data) {
+			return
+		}
+		fmt.Fprint(conn, "OK\n")
+		return
+	}
 	s.uploads++
 	s.recordAckedLocked(id, data)
 	s.ds.PutMerged(id, data)
@@ -439,6 +495,45 @@ func (s *Server) handleUpload(conn net.Conn, r *bufio.Reader, fields []string) {
 		s.mu.Unlock()
 	}
 	fmt.Fprint(conn, "OK\n")
+}
+
+// replicateQuorumLocked is the quorum-path tail of UPLOAD and CHUNK: with
+// the verb already WAL-synced, it merges the committed state into the
+// dataset (kept coupled with the commit so a compaction snapshot can never
+// miss WAL-synced data), releases the server mutex for the replication
+// round-trips, and on a met quorum performs the acknowledgement
+// bookkeeping. Returns true with s.mu released and the positive reply
+// still owed to conn; false when the caller must return without replying
+// OK (crash consumed the request, incarnation died during replication, or
+// quorum failed — the retryable ERR is already written). acked is the
+// byte run whose records the ACK covers (the resulting stream for CHUNK).
+func (s *Server) replicateQuorumLocked(conn net.Conn, op, id string, state, acked []byte) bool {
+	s.ds.PutMerged(id, state)
+	if s.maybeCompactLocked() {
+		return false
+	}
+	s.mu.Unlock()
+	met := s.cfg.Replicate(op, id, state)
+	s.mu.Lock()
+	if s.dead {
+		// A fleet kill landed on this incarnation while it replicated; the
+		// replacement owns the state now, and this connection dies without
+		// a reply like any crashed request.
+		s.mu.Unlock()
+		return false
+	}
+	if !met {
+		s.mu.Unlock()
+		fmt.Fprint(conn, "ERR quorum not met: committed locally, not replicated (retryable)\n")
+		return false
+	}
+	s.uploads++
+	s.recordAckedLocked(id, acked)
+	if s.crashAtLocked(CrashAfterAck) {
+		return true // died after ack: recovery must reproduce the state, but the reply still goes out
+	}
+	s.mu.Unlock()
+	return true
 }
 
 // handleChunk appends a verified chunk to the device's stream at the
@@ -498,6 +593,13 @@ func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 	}
 	stream = append(stream[:offset:offset], chunk...)
 	s.streams[id] = stream
+	if s.cfg.Replicate != nil {
+		if !s.replicateQuorumLocked(conn, ReplicateLog, id, stream, stream) {
+			return
+		}
+		fmt.Fprintf(conn, "OK %d\n", len(stream))
+		return
+	}
 	s.uploads++
 	s.recordAckedLocked(id, stream)
 	s.ds.PutMerged(id, stream)
@@ -510,6 +612,15 @@ func (s *Server) handleChunk(conn net.Conn, r *bufio.Reader, fields []string) {
 	}
 	fmt.Fprintf(conn, "OK %d\n", len(stream))
 }
+
+// Replicate op values passed to ServerConfig.Replicate.
+const (
+	// ReplicateLog forwards the device's committed bytes (an UPLOAD's full
+	// log, a CHUNK's resulting stream) — replicas take custody via HANDOFF.
+	ReplicateLog = "log"
+	// ReplicateFin propagates a stream retirement (state is nil).
+	ReplicateFin = "fin"
+)
 
 // HandoffKind values accepted by the HANDOFF verb.
 const (
@@ -632,6 +743,7 @@ func (s *Server) handleFin(conn net.Conn, fields []string) {
 		return
 	}
 	id := fields[1]
+	committed := false
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
@@ -642,8 +754,15 @@ func (s *Server) handleFin(conn net.Conn, fields []string) {
 			return
 		}
 		delete(s.streams, id)
+		committed = true
 	}
 	s.mu.Unlock()
+	if committed && s.cfg.Replicate != nil {
+		// Propagate the retirement to the replicas so a handed-off stream
+		// is not resurrected there. Best-effort: the ACK below promises
+		// nothing durable (the study data is already merged and acked).
+		_ = s.cfg.Replicate(ReplicateFin, id, nil)
+	}
 	fmt.Fprint(conn, "OK\n")
 }
 
@@ -889,6 +1008,32 @@ func (ds *Dataset) resetTo(files map[string][]byte) {
 	for _, id := range sortedKeys(files) {
 		ds.files[id] = append([]byte(nil), files[id]...)
 	}
+}
+
+// Ping probes the collection server at addr — the heartbeat leg of the
+// fleet's failure detector. It deliberately uses short timeouts: a beat
+// exists to fail fast, and a slow answer is as suspicious as none.
+func Ping(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("collect: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	//symlint:allow determinism network I/O deadline on a real socket, not simulated time
+	if err := conn.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return fmt.Errorf("collect: deadline: %w", err)
+	}
+	if _, err := fmt.Fprint(conn, "PING\n"); err != nil {
+		return fmt.Errorf("collect: send header: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("collect: read reply: %w", err)
+	}
+	if strings.TrimSpace(reply) != "OK" {
+		return fmt.Errorf("collect: server rejected ping: %s", strings.TrimSpace(reply))
+	}
+	return nil
 }
 
 // Fin tells the collection server a device's chunk stream is done (the

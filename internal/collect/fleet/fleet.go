@@ -42,6 +42,39 @@ type Config struct {
 	// Servers > 1 (the degenerate fleet has no router to count requests).
 	JoinAfter  int
 	LeaveAfter int
+
+	// Replicate is the write-time replication factor R: every acknowledged
+	// UPLOAD/CHUNK is durable on R shards (capped at the live membership)
+	// before the OK goes on the wire. 0 defaults to 3; 1 switches write-time
+	// replication, heartbeats and quorum gating off entirely — byte-exact
+	// the pre-quorum fleet. Ignored on the Servers==1 degenerate path.
+	Replicate int
+	// Quorum is the write quorum W: the ACK requires W of the R copies
+	// (primary included) WAL-synced. 0 defaults to min(2, R). When fewer
+	// than W shards are reachable the fleet refuses writes with a retryable
+	// below-quorum ERR instead of making a durability promise it cannot
+	// keep. Must satisfy 1 <= W <= R.
+	Quorum int
+	// BeatRng drives heartbeat jitter. It must be a dedicated stream (salt
+	// it off the study seed) so beat cadence never perturbs kill schedules
+	// or device streams; nil runs beats on a fixed, jitter-free cadence.
+	BeatRng *sim.Rand
+	// BeatEvery is the heartbeat period in routed requests: every BeatEvery
+	// (+ jitter) requests the fleet probes every shard with a PING. The
+	// detector is request-driven — no background goroutine, no host-time
+	// clock — so a quiet fleet draws nothing and leaks nothing. Default 8.
+	BeatEvery int
+	// SuspectAfter is the consecutive-miss count (beats and routed-traffic
+	// observations combined) at which a shard is suspected: routed around
+	// and skipped as a replication target, but never declared dead. A
+	// successful probe clears it. Default 3.
+	SuspectAfter int
+	// ConfirmAfter is the consecutive-miss count at which a suspected shard
+	// is confirmed dead — but only with process-level evidence (its power
+	// was cut or its supervisor's restart loop failed for good): misses
+	// alone, however many, never kill a healthy shard. Confirmation bumps
+	// the epoch and triggers anti-entropy repair. Default 12.
+	ConfirmAfter int
 }
 
 // member is one shard: a supervised durable server with its own dataset and
@@ -58,6 +91,18 @@ type member struct {
 	// armedAt is the routed-request count when a fleet kill was armed on
 	// this shard, for the stall-repoint window.
 	armedAt int
+
+	// Failure-detector state (all under the fleet mutex). misses counts
+	// consecutive failed probes/observations; suspected marks the shard
+	// routed-around; cut marks a permanent power cut (the process is gone,
+	// its dataset with it — only its acked ledger survives as the promise
+	// the replicas must now keep); partitioned blocks the router (and the
+	// router-co-located beat prober) from reaching an otherwise healthy
+	// shard.
+	misses      int
+	suspected   bool
+	cut         bool
+	partitioned bool
 }
 
 // target is a replication destination snapshot (taken under the fleet
@@ -89,14 +134,26 @@ type Supervisor struct {
 
 	tapMu sync.Mutex
 
+	// replicateR/writeW are the resolved R/W (1/1 when replication is off);
+	// the beat* fields are the resolved failure-detector calibration.
+	replicateR   int
+	writeW       int
+	beatEvery    int
+	suspectAfter int
+	confirmAfter int
+
 	mu             sync.Mutex
 	rng            *sim.Rand
+	beatRng        *sim.Rand
 	members        []*member
 	router         *Router
 	epoch          int
 	disarmed       bool
 	requests       int
 	untilKill      int
+	untilBeat      int
+	beating        bool
+	belowQuorum    bool
 	joinDone       bool
 	leaveDone      bool
 	routerKills    int
@@ -106,6 +163,12 @@ type Supervisor struct {
 	aborted        int
 	rebalances     int
 	migrated       int
+	suspicions     int
+	falseSusp      int
+	confirmedDead  int
+	repairs        int
+	degradedReqs   int
+	degradedWins   int
 	abortHandoff   map[*member]bool
 	abortRebalance bool
 	lastErr        error
@@ -121,6 +184,18 @@ func New(cfg Config) (*Supervisor, error) {
 	}
 	if cfg.Crash.Enabled() && cfg.Rng == nil {
 		return nil, errors.New("fleet: crash injection needs a sim.Rand")
+	}
+	r, w := cfg.Replicate, cfg.Quorum
+	if r == 0 {
+		r = 3
+	}
+	if w == 0 {
+		if w = 2; w > r {
+			w = r
+		}
+	}
+	if r < 1 || w < 1 || w > r {
+		return nil, fmt.Errorf("fleet: need 1 <= quorum W (%d) <= replication R (%d)", w, r)
 	}
 	if cfg.Servers == 1 {
 		if cfg.JoinAfter > 0 || cfg.LeaveAfter > 0 {
@@ -142,7 +217,22 @@ func New(cfg Config) (*Supervisor, error) {
 	f := &Supervisor{
 		cfg:          cfg,
 		rng:          cfg.Rng,
+		beatRng:      cfg.BeatRng,
+		replicateR:   r,
+		writeW:       w,
+		beatEvery:    cfg.BeatEvery,
+		suspectAfter: cfg.SuspectAfter,
+		confirmAfter: cfg.ConfirmAfter,
 		abortHandoff: make(map[*member]bool),
+	}
+	if f.beatEvery <= 0 {
+		f.beatEvery = 8
+	}
+	if f.suspectAfter <= 0 {
+		f.suspectAfter = 3
+	}
+	if f.confirmAfter <= f.suspectAfter {
+		f.confirmAfter = 12
 	}
 	fail := func(err error) (*Supervisor, error) {
 		for _, m := range f.members {
@@ -157,18 +247,38 @@ func New(cfg Config) (*Supervisor, error) {
 		}
 		f.members = append(f.members, m)
 	}
-	rt, err := newRouter("127.0.0.1:0", f.route, f.beginRequest)
+	rt, err := newRouter("127.0.0.1:0", f.routerHooks())
 	if err != nil {
 		return fail(err)
 	}
 	f.router = rt
 	f.addr = rt.Addr() // pinned: router restarts rebind this address
+	f.mu.Lock()
 	if cfg.Crash.Enabled() {
-		f.mu.Lock()
 		f.drawKillLocked()
-		f.mu.Unlock()
 	}
+	if f.quorumOn() {
+		f.redrawBeatLocked()
+	}
+	f.mu.Unlock()
 	return f, nil
+}
+
+// quorumOn reports whether write-time replication (and with it the failure
+// detector and quorum gating) is active. R==1 is the pre-quorum fleet.
+func (f *Supervisor) quorumOn() bool { return f.replicateR > 1 }
+
+// routerHooks assembles the callbacks a router incarnation runs on. The
+// detector hooks are withheld on the R==1 fleet so that path stays
+// byte-identical to the pre-quorum router.
+func (f *Supervisor) routerHooks() routerHooks {
+	h := routerHooks{route: f.route, begin: f.beginRequest}
+	if f.quorumOn() {
+		h.gate = f.gate
+		h.blocked = f.blockedAddr
+		h.observe = f.observe
+	}
+	return h
 }
 
 // newMemberLocked builds one shard (fresh store, fresh dataset, supervised
@@ -191,6 +301,9 @@ func (f *Supervisor) newMemberLocked() (*member, error) {
 		CompactEvery:   f.cfg.CompactEvery,
 		Store:          m.store,
 		OnCrash:        func() { f.shardCrashed(m) },
+	}
+	if f.quorumOn() {
+		scfg.Replicate = f.replicaHook(m)
 	}
 	if f.cfg.OnRecord != nil {
 		scfg.OnRecord = f.tap
@@ -228,12 +341,23 @@ func (f *Supervisor) route(deviceID string) (string, bool) {
 	return m.sup.Addr(), true
 }
 
-// ownerLocked is rendezvous hashing over the live members (see Owner).
+// ownerLocked is rendezvous hashing over the live members (see Owner), in
+// two passes: suspected shards are routed around when any unsuspected live
+// shard exists (their successors hold the data), but when everything is
+// under suspicion the plain rendezvous owner still answers — degraded
+// routing beats no routing.
 func (f *Supervisor) ownerLocked(deviceID string) *member {
+	if m := f.bestLocked(deviceID, false); m != nil {
+		return m
+	}
+	return f.bestLocked(deviceID, true)
+}
+
+func (f *Supervisor) bestLocked(deviceID string, includeSuspected bool) *member {
 	var best *member
 	var bestScore uint64
 	for _, m := range f.members {
-		if !m.live {
+		if !m.live || m.cut || (m.suspected && !includeSuspected) {
 			continue
 		}
 		s := rendezvousScore(deviceID, m.name)
@@ -244,10 +368,13 @@ func (f *Supervisor) ownerLocked(deviceID string) *member {
 	return best
 }
 
+// liveLocked returns the members the fleet can still operate: live and not
+// power-cut (a cut shard's process is gone for good; until the detector
+// confirms it dead it is a zombie in the membership, not a peer).
 func (f *Supervisor) liveLocked() []*member {
 	var out []*member
 	for _, m := range f.members {
-		if m.live {
+		if m.live && !m.cut {
 			out = append(out, m)
 		}
 	}
@@ -257,12 +384,47 @@ func (f *Supervisor) liveLocked() []*member {
 // targetsLocked snapshots the live replication destinations other than m.
 func (f *Supervisor) targetsLocked(not *member) []target {
 	var out []target
-	for _, m := range f.members {
-		if m.live && m != not {
+	for _, m := range f.liveLocked() {
+		if m != not {
 			out = append(out, target{name: m.name, addr: m.sup.Addr()})
 		}
 	}
 	return out
+}
+
+// availableTargetsLocked is targetsLocked minus suspected shards — the
+// destinations a write-time replication round may count toward its quorum.
+func (f *Supervisor) availableTargetsLocked(not *member) []target {
+	var out []target
+	for _, m := range f.liveLocked() {
+		if m != not && !m.suspected {
+			out = append(out, target{name: m.name, addr: m.sup.Addr()})
+		}
+	}
+	return out
+}
+
+// availableLocked counts the shards the fleet can currently make a write
+// durable on (live, not cut, not suspected).
+func (f *Supervisor) availableLocked() int {
+	n := 0
+	for _, m := range f.liveLocked() {
+		if !m.suspected {
+			n++
+		}
+	}
+	return n
+}
+
+// memberByAddrLocked resolves a shard address (pinned across restarts) back
+// to its member.
+func (f *Supervisor) memberByAddrLocked(addr string) *member {
+	for _, m := range f.members {
+		if m.sup.Addr() == addr {
+			return m
+		}
+	}
+	return nil
 }
 
 // beginRequest is the router's per-request hook. It advances the fleet kill
@@ -304,7 +466,27 @@ func (f *Supervisor) beginRequest() bool {
 			f.drawKillLocked()
 		}
 	}
+	var doBeat bool
+	var probes []*member
+	if f.quorumOn() {
+		f.untilBeat--
+		if f.untilBeat <= 0 && !f.beating {
+			// One beat round at a time: concurrent requests keep flowing
+			// while this one carries the probes (request-driven detector —
+			// no goroutine to leak, no host clock to drift).
+			f.beating = true
+			doBeat = true
+			for _, m := range f.members {
+				if m.live {
+					probes = append(probes, m)
+				}
+			}
+		}
+	}
 	f.mu.Unlock()
+	if doBeat {
+		f.runBeat(probes)
+	}
 	if doJoin {
 		if err := f.Join(); err != nil {
 			f.setErr(err)
@@ -408,16 +590,65 @@ func (f *Supervisor) shardCrashed(m *member) {
 		return
 	}
 	for _, dev := range devs[:cut] {
-		f.replicate(dev, collect.HandoffLog, files[dev], targets)
+		f.replicate(dev, collect.HandoffLog, files[dev], targets, 1, handoffAttempts)
 	}
 }
 
-// replicate hands one device's bytes to the first target that takes them,
-// preferring the device's rendezvous owner. A peer may itself be
-// mid-restart (simultaneous kills), so each candidate gets bounded retries;
-// when every candidate refuses, the failure is counted and abandoned —
-// safe, because handoff is replication and the source keeps its copy.
-func (f *Supervisor) replicate(dev, kind string, data []byte, targets []target) bool {
+// Per-candidate retry budgets for the two replication callers. Repair-style
+// replication (crash handoff, rebalance, anti-entropy) is already safe to
+// abandon — the source keeps its copy — so it gives up quickly. Write-time
+// replication is holding a client's ACK hostage, so it retries long enough
+// (~0.6 s of host time per candidate) to ride out a peer's restart window
+// without ever surfacing into simulated time.
+const (
+	handoffAttempts = 3
+	writeAttempts   = 60
+)
+
+// replicate offers one device's bytes to targets in rendezvous order (the
+// device's truest owners first) until want of them have taken durable
+// custody; want <= 0 offers to every target. Each candidate gets bounded
+// retries — a peer may itself be mid-restart (simultaneous kills) — and
+// each candidate that still refuses counts one HandoffFailure, so a
+// two-target round that loses one peer is visible as exactly one failed
+// leg, not a lost round. Returns how many targets accepted. Crash handoff,
+// join/leave rebalancing, anti-entropy repair and write-time quorum
+// replication all funnel through here: one audited path, one counter set.
+func (f *Supervisor) replicate(dev, kind string, data []byte, targets []target, want, attempts int) int {
+	successes := 0
+	for _, t := range rendezvousOrder(dev, targets) {
+		ok := false
+		for attempt := 0; attempt < attempts && !ok; attempt++ {
+			if attempt > 0 {
+				// Host-time pause while a real TCP peer rebinds; never
+				// observable by the simulation.
+				sleep := time.Duration(attempt*attempt) * 2 * time.Millisecond
+				if sleep > 10*time.Millisecond {
+					sleep = 10 * time.Millisecond
+				}
+				//symlint:allow determinism host-time backoff towards a real restarting TCP peer
+				time.Sleep(sleep)
+			}
+			ok = collect.Handoff(t.addr, dev, kind, data) == nil
+		}
+		f.mu.Lock()
+		if ok {
+			f.handoffs++
+			successes++
+		} else {
+			f.handoffFails++
+		}
+		f.mu.Unlock()
+		if want > 0 && successes >= want {
+			break
+		}
+	}
+	return successes
+}
+
+// rendezvousOrder sorts targets by the device's rendezvous preference,
+// highest score first (ties toward the lexically smaller name, like Owner).
+func rendezvousOrder(dev string, targets []target) []target {
 	ordered := append([]target(nil), targets...)
 	sort.Slice(ordered, func(i, j int) bool {
 		si, sj := rendezvousScore(dev, ordered[i].name), rendezvousScore(dev, ordered[j].name)
@@ -426,26 +657,7 @@ func (f *Supervisor) replicate(dev, kind string, data []byte, targets []target) 
 		}
 		return ordered[i].name < ordered[j].name
 	})
-	for _, t := range ordered {
-		for attempt := 0; attempt < 3; attempt++ {
-			if attempt > 0 {
-				// Host-time pause while a real TCP peer rebinds; never
-				// observable by the simulation.
-				//symlint:allow determinism host-time backoff towards a real restarting TCP peer
-				time.Sleep(time.Duration(attempt*attempt) * 2 * time.Millisecond)
-			}
-			if collect.Handoff(t.addr, dev, kind, data) == nil {
-				f.mu.Lock()
-				f.handoffs++
-				f.mu.Unlock()
-				return true
-			}
-		}
-	}
-	f.mu.Lock()
-	f.handoffFails++
-	f.mu.Unlock()
-	return false
+	return ordered
 }
 
 // Join adds one shard mid-study and rebalances: the epoch bumps first (new
@@ -474,6 +686,7 @@ func (f *Supervisor) Join() error {
 	f.members = append(f.members, joiner)
 	f.epoch++
 	f.rebalances++
+	f.updateQuorumLocked()
 	names := make([]string, 0, len(donors)+1)
 	for _, m := range donors {
 		names = append(names, m.name)
@@ -505,11 +718,11 @@ func (f *Supervisor) Join() error {
 		if !ok {
 			continue
 		}
-		if !f.replicate(p.dev, collect.HandoffLog, data, dst) {
+		if f.replicate(p.dev, collect.HandoffLog, data, dst, 1, handoffAttempts) == 0 {
 			continue
 		}
 		if stream, ok := p.from.sup.Stream(p.dev); ok && len(stream) > 0 {
-			f.replicate(p.dev, collect.HandoffStream, stream, dst)
+			f.replicate(p.dev, collect.HandoffStream, stream, dst, 1, handoffAttempts)
 		}
 		f.mu.Lock()
 		f.migrated++
@@ -563,11 +776,11 @@ func (f *Supervisor) Leave() error {
 		if !ok {
 			continue
 		}
-		if !f.replicate(dev, collect.HandoffLog, data, targets) {
+		if f.replicate(dev, collect.HandoffLog, data, targets, 1, handoffAttempts) == 0 {
 			continue
 		}
 		if stream, ok := leaver.sup.Stream(dev); ok && len(stream) > 0 {
-			f.replicate(dev, collect.HandoffStream, stream, targets)
+			f.replicate(dev, collect.HandoffStream, stream, targets, 1, handoffAttempts)
 		}
 		f.mu.Lock()
 		f.migrated++
@@ -576,9 +789,16 @@ func (f *Supervisor) Leave() error {
 	f.mu.Lock()
 	leaver.live = false
 	f.epoch++
+	f.updateQuorumLocked()
 	f.mu.Unlock()
-	// The leaver may be mid-crash, its listener already torn down by the
-	// kill — an already-closed connection is not a failure of the leave.
+	// The leaver may be mid-crash — drain traffic traverses crashpoints, so
+	// an armed kill can fire on the leave itself. Settle before closing: a
+	// Close (or even a Disarm) that lands while serverDied is mid-cycle
+	// makes it skip the restart, stranding a harvested crash with no
+	// matching restart in the fleet's ledger. New kills cannot arm here —
+	// fireKillsLocked only targets live members and the leaver just
+	// stopped being one — and Settle cancels any kill still pending.
+	leaver.sup.Settle(5 * time.Second)
 	_ = leaver.sup.Close()
 	return nil
 }
@@ -602,7 +822,7 @@ func (f *Supervisor) restartRouter() {
 			//symlint:allow determinism host-time pause rebinding a real TCP listener
 			time.Sleep(time.Duration(attempt) * time.Millisecond)
 		}
-		rt, err = newRouter(f.addr, f.route, f.beginRequest)
+		rt, err = newRouter(f.addr, f.routerHooks())
 		if err == nil {
 			break
 		}
@@ -645,6 +865,12 @@ func (f *Supervisor) MergedDataset() *collect.Dataset {
 	}
 	out := collect.NewDataset()
 	for _, m := range f.members {
+		if m.cut {
+			// A power-cut shard's dataset died with its hardware. Its acked
+			// ledger survives (AckedKeys) precisely so the invariant checks
+			// can catch a replication level that failed to cover it.
+			continue
+		}
 		for _, dev := range m.ds.Devices() {
 			if data, ok := m.ds.Get(dev); ok {
 				out.PutMerged(dev, data)
@@ -740,6 +966,28 @@ func (f *Supervisor) Crashes() int { return f.sum((*collect.Supervisor).Crashes)
 // Restarts sums successful shard restarts.
 func (f *Supervisor) Restarts() int { return f.sum((*collect.Supervisor).Restarts) }
 
+// Quiesce waits (bounded host time) until every injected crash's restart
+// has completed, reporting whether it did. With a write quorum W < R the
+// client's ACK no longer waits for every replica, so a study can finish
+// while a lagging replica incarnation is still replaying its WAL on its
+// own goroutine; restarts always complete, but tests comparing Crashes()
+// to Restarts() must let them land first.
+func (f *Supervisor) Quiesce(timeout time.Duration) bool {
+	//symlint:allow determinism host-time settle for real shard restarts; the simulation has already run
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Crashes() == f.Restarts() {
+			return true
+		}
+		//symlint:allow determinism host-time settle for real shard restarts; the simulation has already run
+		if time.Now().After(deadline) {
+			return false
+		}
+		//symlint:allow determinism host-time settle for real shard restarts; the simulation has already run
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // Uploads sums successful uploads served across every shard and incarnation.
 func (f *Supervisor) Uploads() int { return f.sum((*collect.Supervisor).Uploads) }
 
@@ -816,6 +1064,140 @@ func (f *Supervisor) Rebalances() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.rebalances
+}
+
+// CutPower permanently destroys a live shard by name: the process dies and
+// never restarts, its dataset dies with the hardware, and — unlike an
+// injected kill — the OnCrash handoff window never runs. This is the
+// failure write-time replication exists for: with R >= 2 every record the
+// shard ever acknowledged already lives on its rendezvous successors, so
+// the cut is a non-event for the merged dataset; with R == 1 it is
+// acknowledged data loss, on purpose. The fleet's own failure detector
+// (not this call) is what eventually suspects the corpse, confirms it dead
+// and bumps the epoch.
+func (f *Supervisor) CutPower(name string) error {
+	f.mu.Lock()
+	if f.single != nil {
+		f.mu.Unlock()
+		return errors.New("fleet: cannot cut power on a single-server fleet")
+	}
+	var victim *member
+	for _, m := range f.members {
+		if m.name == name && m.live && !m.cut {
+			victim = m
+			break
+		}
+	}
+	if victim == nil {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: no live shard %q to cut", name)
+	}
+	victim.cut = true
+	f.updateQuorumLocked()
+	f.mu.Unlock()
+	// Close disarms the supervisor first, so OnCrash never fires: nobody
+	// hands this shard's data anywhere. That is the point.
+	return victim.sup.Close()
+}
+
+// Partition isolates (or reconnects) a live shard from the router: forwards
+// and heartbeats to it fail without a dial, while the shard itself keeps
+// running, WAL-syncing, and accepting peer traffic. The detector must
+// suspect it — never confirm it dead — and routing must flow around it.
+func (f *Supervisor) Partition(name string, isolated bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.single != nil {
+		return errors.New("fleet: cannot partition a single-server fleet")
+	}
+	for _, m := range f.members {
+		if m.name == name && m.live && !m.cut {
+			m.partitioned = isolated
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: no live shard %q to partition", name)
+}
+
+// ReplicationFactor returns the resolved write-time replication factor R
+// (1 when replication is off); WriteQuorum the resolved write quorum W.
+func (f *Supervisor) ReplicationFactor() int {
+	if f.single != nil {
+		return 1
+	}
+	return f.replicateR
+}
+
+// WriteQuorum returns the resolved write quorum W (1 when replication is off).
+func (f *Supervisor) WriteQuorum() int {
+	if f.single != nil {
+		return 1
+	}
+	return f.writeW
+}
+
+// Suspicions counts suspicion episodes raised by the failure detector;
+// FalseSuspicions the subset raised against a shard that a direct
+// (partition-bypassing) probe found alive at that moment — the detector's
+// measured false-positive count. ConfirmedDead counts shards declared dead
+// (requires process-level evidence, never misses alone); Repairs the
+// devices re-replicated by the anti-entropy pass a confirmation triggers.
+func (f *Supervisor) Suspicions() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.suspicions
+}
+
+// FalseSuspicions counts suspicions of provably-alive shards.
+func (f *Supervisor) FalseSuspicions() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.falseSusp
+}
+
+// ConfirmedDead counts shards the detector declared dead.
+func (f *Supervisor) ConfirmedDead() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.confirmedDead
+}
+
+// Repairs counts devices re-replicated by anti-entropy repair.
+func (f *Supervisor) Repairs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.repairs
+}
+
+// DegradedRequests counts writes refused with the retryable below-quorum
+// ERR; DegradedWindows how many times the fleet entered a below-quorum
+// window (the transition count, so a single two-shard outage is one window
+// however many writes it refused).
+func (f *Supervisor) DegradedRequests() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degradedReqs
+}
+
+// DegradedWindows counts transitions into below-quorum operation.
+func (f *Supervisor) DegradedWindows() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degradedWins
+}
+
+// Suspected returns the names of currently-suspected shards, sorted.
+func (f *Supervisor) Suspected() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for _, m := range f.members {
+		if m.suspected {
+			out = append(out, m.name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // AckedKeys unions the serialized form of every record any incarnation of

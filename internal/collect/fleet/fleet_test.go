@@ -70,7 +70,9 @@ func TestOwnerProperties(t *testing.T) {
 // TestFleetRoutesByDevice: every upload through the router lands on the
 // device's rendezvous owner, and the merged dataset is the exact union.
 func TestFleetRoutesByDevice(t *testing.T) {
-	f, err := New(Config{Servers: 3})
+	// Replicate: 1 pins the pre-quorum single-copy fleet: this test's whole
+	// point is that exactly the rendezvous owner holds each device.
+	f, err := New(Config{Servers: 3, Replicate: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"symfail/internal/collect"
+)
+
+// Write-time quorum replication (DESIGN.md §15). The primary shard — not
+// the router — replicates each committed write: only the primary knows the
+// full resulting state (a CHUNK's ACK covers the whole reassembled stream,
+// not just the chunk's bytes), and shard-to-shard HANDOFF traffic stays off
+// the routed path, so replication advances no kill schedule and draws no
+// fleet RNG. HANDOFF handlers never replicate onward — fan-out is exactly
+// one hop deep, so two shards replicating to each other cannot storm or
+// deadlock.
+
+// replicaHook builds the ServerConfig.Replicate callback for shard m: the
+// write-time leg of quorum replication. Called by every incarnation of m's
+// server after a local WAL sync with the server mutex released (see the
+// contract on ServerConfig.Replicate). It forwards the committed state to
+// the device's R-1 rendezvous successors and reports whether, counting the
+// local copy, a write quorum of W shards now holds it durably.
+func (f *Supervisor) replicaHook(m *member) func(op, deviceID string, state []byte) bool {
+	return func(op, dev string, state []byte) bool {
+		f.mu.Lock()
+		if f.disarmed {
+			// Shutdown raced the write. Nothing downstream reads the reply;
+			// don't manufacture a quorum failure out of teardown ordering.
+			f.mu.Unlock()
+			return true
+		}
+		targets := f.availableTargetsLocked(m)
+		need := f.writeW - 1 // the primary's own WAL-synced copy counts
+		fanout := f.replicateR - 1
+		f.mu.Unlock()
+		if len(targets) > fanout {
+			targets = rendezvousOrder(dev, targets)[:fanout]
+		}
+		if op == collect.ReplicateFin {
+			// Stream retirement is bookkeeping, not durability: one
+			// best-effort pass, no retries, result ignored by the caller.
+			for _, t := range targets {
+				_ = collect.Fin(t.addr, dev)
+			}
+			return true
+		}
+		if len(targets) < need {
+			// Not enough reachable peers to ever meet W: refuse fast rather
+			// than grind retries against a fleet that cannot help.
+			f.mu.Lock()
+			f.degradedReqs++
+			f.mu.Unlock()
+			return false
+		}
+		// Offer to every successor (want <= 0), not just W-1: the copies
+		// beyond the quorum are what keep the *next* shard loss survivable
+		// without waiting for repair. The ACK still only needs `need`.
+		got := f.replicate(dev, collect.HandoffLog, state, targets, 0, writeAttempts)
+		if got < need {
+			f.mu.Lock()
+			f.degradedReqs++
+			f.mu.Unlock()
+			return false
+		}
+		return true
+	}
+}

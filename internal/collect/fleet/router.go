@@ -74,16 +74,36 @@ func rendezvousScore(deviceID, member string) uint64 {
 // address.
 type Router struct {
 	listener net.Listener
-	// route resolves a device to the owning shard's address under the
-	// fleet's current epoch; begin is the fleet's per-request hook and
-	// reports whether the router itself was selected to die on this request.
-	route func(deviceID string) (string, bool)
-	begin func() bool
+	hooks    routerHooks
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
+}
+
+// routerHooks are the fleet callbacks a router incarnation is built around.
+// route and begin are mandatory for a fleet router; the rest are nil on the
+// replication-free (R=1) fleet, which keeps that path byte-identical to the
+// pre-quorum router.
+type routerHooks struct {
+	// route resolves a device to the owning shard's address under the
+	// fleet's current epoch; begin is the fleet's per-request hook and
+	// reports whether the router itself was selected to die on this request.
+	route func(deviceID string) (string, bool)
+	begin func() bool
+	// gate, when set, may refuse a write verb before any shard is touched —
+	// the fleet's below-quorum rejection. The returned error text goes to
+	// the client as a retryable ERR.
+	gate func(verb string) error
+	// blocked, when set, simulates a network partition between this router
+	// and a shard: a true return means the forward attempt fails without a
+	// dial ever happening (the shard itself stays healthy and reachable
+	// from its peers).
+	blocked func(addr string) bool
+	// observe, when set, feeds the fleet's failure detector: every forward
+	// attempt's outcome against a shard address, success or miss.
+	observe func(addr string, ok bool)
 }
 
 // routedVerbs are the headers the router understands; everything carries
@@ -97,12 +117,12 @@ func routedVerb(v string) bool {
 }
 
 // newRouter starts a router on addr ("127.0.0.1:0" picks a free port).
-func newRouter(addr string, route func(string) (string, bool), begin func() bool) (*Router, error) {
+func newRouter(addr string, hooks routerHooks) (*Router, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: router listen: %w", err)
 	}
-	rt := &Router{listener: l, route: route, begin: begin, conns: make(map[net.Conn]struct{})}
+	rt := &Router{listener: l, hooks: hooks, conns: make(map[net.Conn]struct{})}
 	rt.wg.Add(1)
 	go rt.acceptLoop()
 	return rt, nil
@@ -165,7 +185,7 @@ func (rt *Router) handle(conn net.Conn) {
 		fmt.Fprint(conn, "ERR bad header\n")
 		return
 	}
-	if rt.begin != nil && rt.begin() {
+	if rt.hooks.begin != nil && rt.hooks.begin() {
 		// The router was drawn into this request's kill subset: the fleet
 		// has already torn this router down and rebound a fresh one; this
 		// connection dies without a reply, like any crashed process.
@@ -197,6 +217,15 @@ func (rt *Router) handle(conn net.Conn) {
 		fmt.Fprintf(conn, "ERR short body: %v\n", err)
 		return
 	}
+	// The below-quorum gate runs after the body is buffered: the client has
+	// finished writing and is reading for a reply, so the retryable ERR
+	// actually reaches it instead of racing a mid-body connection reset.
+	if rt.hooks.gate != nil {
+		if err := rt.hooks.gate(fields[0]); err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+	}
 	reply, ok := rt.forward(fields[1], header, body)
 	if !ok {
 		fmt.Fprint(conn, "ERR shard unavailable\n")
@@ -220,12 +249,20 @@ func (rt *Router) forward(dev, header string, body []byte) ([]byte, bool) {
 			//symlint:allow determinism host-time pause while a real TCP shard rebinds
 			time.Sleep(5 * time.Millisecond)
 		}
-		addr, ok := rt.route(dev)
+		addr, ok := rt.hooks.route(dev)
 		if !ok {
 			return nil, false
 		}
+		if rt.hooks.blocked != nil && rt.hooks.blocked(addr) {
+			// Partitioned: the shard may be perfectly healthy, but this
+			// router cannot reach it. The miss feeds the failure detector,
+			// which will suspect the shard and re-route the next attempt.
+			rt.observe(addr, false)
+			continue
+		}
 		up, err := net.DialTimeout("tcp", addr, 10*time.Second)
 		if err != nil {
+			rt.observe(addr, false)
 			continue
 		}
 		if !rt.track(up) {
@@ -236,10 +273,21 @@ func (rt *Router) forward(dev, header string, body []byte) ([]byte, bool) {
 		rt.forget(up)
 		_ = up.Close()
 		if len(reply) > 0 && reply[len(reply)-1] == '\n' {
+			rt.observe(addr, true)
 			return reply, true
 		}
+		rt.observe(addr, false)
 	}
 	return nil, false
+}
+
+// observe forwards a per-attempt outcome to the fleet's failure detector —
+// probe-on-traffic, so suspicion can land inside a single forward loop
+// instead of waiting for the next heartbeat round.
+func (rt *Router) observe(addr string, ok bool) {
+	if rt.hooks.observe != nil {
+		rt.hooks.observe(addr, ok)
+	}
 }
 
 // attempt runs one request/reply exchange against a shard; a nil or

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"symfail/internal/core"
 	"symfail/internal/sim"
@@ -110,6 +111,11 @@ type SupervisorConfig struct {
 	// must not call back into this supervisor's request path. Not invoked
 	// when the supervisor is already disarmed (shutdown).
 	OnCrash func()
+	// Replicate passes through to ServerConfig.Replicate for every
+	// incarnation: the write-time quorum hook a fleet shard uses to forward
+	// committed state to its rendezvous successors before acknowledging.
+	// See ServerConfig.Replicate for the calling contract.
+	Replicate func(op, deviceID string, state []byte) bool
 }
 
 // Supervisor owns a durable collection server across injected crashes: it
@@ -176,6 +182,7 @@ func NewSupervisor(addr string, ds *Dataset, cfg SupervisorConfig) (*Supervisor,
 		CompactEvery:   cfg.CompactEvery,
 		Store:          sup.store,
 		OnRecord:       cfg.OnRecord,
+		Replicate:      cfg.Replicate,
 		monitor:        sup,
 	}
 	srv, err := NewServerWith(addr, ds, sup.scfg)
@@ -240,6 +247,51 @@ func (s *Supervisor) Disarm() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.disarmed = true
+}
+
+// Settle cancels any armed-but-unfired kill and waits (bounded host time)
+// for an in-flight crash-restart cycle to complete, reporting whether the
+// supervisor reached quiescence. Callers must first stop new kills from
+// arming (a fleet does so by taking the shard out of its kill draw) but
+// must NOT Disarm before settling: serverDied skips the restart when it
+// observes a disarmed supervisor, which is exactly the stranded-crash
+// ledger imbalance settling exists to prevent. Settle before Close when
+// retiring a shard whose crash/restart ledger must stay balanced.
+func (s *Supervisor) Settle(timeout time.Duration) bool {
+	//symlint:allow determinism host-time settle for a real TCP shard's restart; the simulation never observes it
+	deadline := time.Now().Add(timeout)
+	for {
+		// Cancel a pending kill: the shard is being retired, so firing it
+		// now would only manufacture a crash nobody needs to survive.
+		s.armed.Store(0)
+		if s.settledNow() {
+			return true
+		}
+		//symlint:allow determinism host-time settle for a real TCP shard's restart; the simulation never observes it
+		if time.Now().After(deadline) {
+			return false
+		}
+		//symlint:allow determinism host-time settle for a real TCP shard's restart; the simulation never observes it
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// settledNow reports whether no kill is armed, no incarnation is mid-death,
+// and every harvested crash has its restart. A nil current incarnation
+// (failed restart or shutdown) counts as settled: nothing further will
+// happen, and the caller's Err check owns that story.
+func (s *Supervisor) settledNow() bool {
+	if s.armed.Load() != 0 {
+		return false
+	}
+	srv := s.cur.Load()
+	if srv == nil {
+		return true
+	}
+	dying := srv.isDead()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !dying && s.crashes == s.restarts
 }
 
 // Close disarms the supervisor and shuts the live incarnation down.

@@ -165,6 +165,15 @@ func transientNetErr(err error) bool {
 		strings.Contains(s, "read reply") || strings.Contains(s, "shard unavailable")
 }
 
+// IsBelowQuorum reports whether an error is the fleet's retryable
+// below-quorum rejection: the write was refused (or committed locally but
+// not replicated) because fewer than W shards were reachable. It is an
+// honest "not yet durable enough" — the uploader's backoff, or this layer's
+// host-time retry, absorbs it until quorum returns.
+func IsBelowQuorum(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "quorum")
+}
+
 func retryNet(do func() error) {
 	for attempt := 0; attempt < 60; attempt++ {
 		if attempt > 0 {
@@ -173,7 +182,10 @@ func retryNet(do func() error) {
 			//symlint:allow determinism host-time pause while a real TCP peer rebinds
 			time.Sleep(5 * time.Millisecond)
 		}
-		if err := do(); !transientNetErr(err) {
+		// A below-quorum ERR is a parsed protocol reply, but unlike other
+		// rejections it names a transient fleet state (a shard restarting
+		// inside its kill window), so it retries like a dead connection.
+		if err := do(); !transientNetErr(err) && !IsBelowQuorum(err) {
 			return
 		}
 	}

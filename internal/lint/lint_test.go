@@ -197,6 +197,19 @@ func TestHandoffAckOrderGolden(t *testing.T) {
 	}))
 }
 
+// TestQuorumAckOrderGolden runs ackorder over the write-time quorum
+// fixture: the primary's OK must follow its own WAL append+sync even when
+// the quorum forward succeeded (replica copies are not this shard's
+// durability), while the retryable "ERR quorum ..." refusal is not an
+// acknowledgement and constrains nothing.
+func TestQuorumAckOrderGolden(t *testing.T) {
+	fixturePath := "symfail/internal/lint/testdata/src/quorumfix"
+	checkGolden(t, "quorumfix", lint.NewAckOrder(lint.AckOrderConfig{
+		PkgPrefixes: []string{fixturePath},
+		StoreTypes:  []lint.TypeRef{{Pkg: fixturePath, Name: "WAL"}},
+	}))
+}
+
 func TestErrDropGolden(t *testing.T) {
 	fixturePath := "symfail/internal/lint/testdata/src/errdropfix"
 	checkGolden(t, "errdropfix", lint.NewErrDrop(lint.ErrDropConfig{

@@ -1,0 +1,84 @@
+// Package quorumfix exercises the ackorder analyzer on the fleet's
+// write-time quorum path: the primary commits locally (WAL append+sync),
+// forwards the committed state to its rendezvous successors, and only
+// then acknowledges — so the OK on the wire covers W durable copies. The
+// quorum refusal is an "ERR ..." string, which the analyzer deliberately
+// does not treat as an acknowledgement: a retryable refusal promises
+// nothing, so appends may trail it freely.
+package quorumfix
+
+import (
+	"fmt"
+	"net"
+)
+
+// WAL stands in for the primary shard's CrashStore.
+type WAL struct{}
+
+func (w *WAL) Append(name string, rec []byte) {}
+func (w *WAL) Sync(name string)               {}
+
+type shard struct {
+	wal *WAL
+}
+
+// replicate forwards committed state to the rendezvous successors and
+// reports whether the write quorum was met. Pure network — no WAL ops.
+func (s *shard) replicate(dev string, payload []byte) bool {
+	return len(payload) > 0
+}
+
+// Good: the real handler's shape — local commit first, quorum second, OK
+// last. The ERR refusal needs no sync before it: it is not an ACK.
+func (s *shard) handleUploadGood(conn net.Conn, dev string, payload []byte) {
+	s.wal.Append(dev, payload)
+	s.wal.Sync(dev)
+	if !s.replicate(dev, payload) {
+		fmt.Fprint(conn, "ERR quorum not met: committed locally, not replicated (retryable)\n")
+		return
+	}
+	fmt.Fprint(conn, "OK\n")
+}
+
+// Bad: quorum met is not local durability — the OK races the primary's own
+// sync, and a primary crash after the ACK strands a copy the successors
+// may not cover (they hold state, not this shard's unsynced tail).
+func (s *shard) handleUploadAckBeforeSync(conn net.Conn, dev string, payload []byte) {
+	s.wal.Append(dev, payload)
+	if s.replicate(dev, payload) {
+		fmt.Fprint(conn, "OK\n") // want: reply before sync
+	}
+	s.wal.Sync(dev)
+}
+
+// Bad on the second device onward: a fan-out loop that acknowledges each
+// device before appending the next — the OK on the wire cannot cover
+// records appended after it.
+func (s *shard) replicateThenAckLoop(conn net.Conn, devs []string, payloads map[string][]byte) {
+	for _, dev := range devs {
+		s.wal.Append(dev, payloads[dev]) // want: append after first-iteration reply
+		s.wal.Sync(dev)
+		s.replicate(dev, payloads[dev])
+		fmt.Fprint(conn, "OK\n")
+	}
+}
+
+// commitQuorum is the boolean-correlated idiom the real path uses: false
+// means either the local commit died at a crashpoint or the quorum was
+// not met — on both paths no OK may follow.
+func (s *shard) commitQuorum(dev string, payload []byte, crashed bool) bool {
+	s.wal.Append(dev, payload)
+	if crashed {
+		return false
+	}
+	s.wal.Sync(dev)
+	return s.replicate(dev, payload)
+}
+
+// Good: only the synced-and-replicated path acknowledges.
+func (s *shard) handleViaCommit(conn net.Conn, dev string, payload []byte, crashed bool) {
+	if !s.commitQuorum(dev, payload, crashed) {
+		return
+	}
+	fmt.Fprint(conn, "OK\n")
+}

@@ -71,6 +71,13 @@ type FieldStudyConfig struct {
 	// path; >1 shards the fleet behind a device-hash router). Ignored by
 	// RunFieldStudy and RunFieldStudyWithCollector.
 	Servers int
+	// Replicate / Quorum, on the RunFieldStudyWithFleet path with
+	// Servers > 1, set the write-time replication factor R and write quorum
+	// W (fleet.Config.Replicate / Quorum). 0 takes the fleet defaults
+	// (R=3 capped at the live membership, W=min(2,R)); Replicate=1 switches
+	// write-time replication off — the pre-quorum fleet, byte-exact.
+	Replicate int
+	Quorum    int
 	// WithUserReporter additionally installs the output-failure reporting
 	// extension (core.UserReporter) on every phone.
 	WithUserReporter bool
@@ -331,21 +338,32 @@ func collectFromDataset(ds *collect.Dataset, opts analysis.Options) (*stream.Col
 // restarts: an injected server crash can land mid-upload, in which case
 // the client sees a dead connection, the supervisor replays the WAL and
 // rebinds, and the retry re-sends the payload — harmless, because the
-// server's merge is idempotent. The FIN afterwards retires the device's
-// chunk stream on the server (best-effort bookkeeping; the data itself is
-// already merged and acknowledged).
+// server's merge is idempotent. A quorum-replicated fleet can also refuse
+// the write outright while too many shards are suspected mid-restart;
+// those retryable ERRs get a larger budget, because a below-quorum window
+// clears on the fleet's own heartbeat cadence rather than a single shard
+// rebind. The FIN afterwards retires the device's chunk stream on the
+// server (best-effort bookkeeping; the data itself is already merged and
+// acknowledged).
 func uploadFinal(addr, id string, data []byte) error {
 	var err error
-	for attempt := 0; attempt < 8; attempt++ {
+	for attempt := 0; attempt < 120; attempt++ {
 		if attempt > 0 {
 			// Host-time pause: the collector is a real TCP server
 			// restarting in host time, not simulated time. The pause never
 			// influences simulation state — the fleet has already run.
-			time.Sleep(time.Duration(attempt*attempt) * time.Millisecond)
+			pause := time.Duration(attempt*attempt) * time.Millisecond
+			if pause > 10*time.Millisecond {
+				pause = 10 * time.Millisecond
+			}
+			time.Sleep(pause)
 		}
 		if err = collect.Upload(addr, id, data); err == nil {
 			_ = collect.Fin(addr, id)
 			return nil
+		}
+		if attempt >= 8 && !collect.IsBelowQuorum(err) {
+			break
 		}
 	}
 	return fmt.Errorf("symfail: upload %s: %w", id, err)
@@ -355,6 +373,11 @@ func uploadFinal(addr, id string, data []byte) error {
 // study seed while keeping it independent of every device stream: killing
 // the server more or less often must never change what happens on a phone.
 const collectorSeedSalt = 0x636f6c6c656374
+
+// beatSeedSalt derives the fleet heartbeat jitter stream — independent of
+// both the device streams and the collection tier's kill/crashpoint stream,
+// so beat cadence can never perturb either.
+const beatSeedSalt = 0x62656174
 
 // RunFieldStudyWithCollector runs the study uploading logs over TCP to a
 // fresh local collection server, returning the study and the server's
@@ -432,6 +455,9 @@ func RunFieldStudyWithFleet(cfg FieldStudyConfig) (*FieldStudy, *fleet.Superviso
 		Rng:          sim.NewRand(cfg.Seed ^ collectorSeedSalt),
 		JoinAfter:    cfg.Adversity.FleetJoinAfter,
 		LeaveAfter:   cfg.Adversity.FleetLeaveAfter,
+		Replicate:    cfg.Replicate,
+		Quorum:       cfg.Quorum,
+		BeatRng:      sim.NewRand(cfg.Seed ^ beatSeedSalt),
 	}
 	if cfg.Monitor != nil {
 		fcfg.OnRecord = cfg.Monitor.Observe
