@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet chaos-replica fuzz parallel stream test test-short bench bench-parallel bench-analysis bench-check repro repro-quick montecarlo cover clean
+.PHONY: all build vet lint lint-json check chaos chaos-kill chaos-fleet chaos-replica chaos-checkpoint fuzz parallel stream test test-short bench bench-parallel bench-analysis bench-resnapshot bench-check repro repro-quick montecarlo cover clean
 
 all: build vet lint test
 
@@ -55,6 +55,14 @@ chaos-fleet:
 chaos-replica:
 	$(GO) test -race -run 'TestReplicaKillAnything' -v .
 
+# The checkpoint/resume harness: a continuous study over a Workers:4 fleet
+# dataset, killed at RNG-drawn points — mid-record-stream and inside the
+# checkpoint write/sync/rename protocol itself — and resumed from the
+# crash-surviving store; the eventual tables must be byte-identical to an
+# uninterrupted run (DESIGN.md §16).
+chaos-checkpoint:
+	$(GO) test -race -run 'TestCheckpoint' -v .
+
 # Fuzz the collection server's wire protocol end to end for a short burst
 # (panics and wedged servers fail the run; CI uses the seed corpus only).
 fuzz:
@@ -89,6 +97,10 @@ bench-parallel:
 bench-analysis:
 	$(GO) test -run xxx -bench BenchmarkStudyStreamVsBatch -benchtime 5x .
 
+# Epoch-snapshot overhead on loaded live accumulators -> BENCH_resnapshot.json.
+bench-resnapshot:
+	$(GO) test -run xxx -bench BenchmarkResnapshotOverhead -benchtime 20x .
+
 # Perf-regression gate: re-measure the quick benchmark cells into fresh
 # reports (committed baselines untouched) and diff against the committed
 # BENCH_*.json. Allocs/op always gates at benchdiff's 0.5% slack — wide
@@ -109,9 +121,12 @@ bench-check:
 		$(GO) test -run xxx -bench 'BenchmarkFleetScaling/phones=(25|100|1000)$$/' -benchtime 1x .
 	BENCH_ANALYSIS_OUT=.bench_new_analysis.json \
 		$(GO) test -run xxx -bench BenchmarkStudyStreamVsBatch -benchtime 5x .
+	BENCH_RESNAPSHOT_OUT=.bench_new_resnapshot.json \
+		$(GO) test -run xxx -bench BenchmarkResnapshotOverhead -benchtime 20x .
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_parallel.json .bench_new_parallel.json
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_analysis.json .bench_new_analysis.json
-	rm -f .bench_new_parallel.json .bench_new_analysis.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_resnapshot.json .bench_new_resnapshot.json
+	rm -f .bench_new_parallel.json .bench_new_analysis.json .bench_new_resnapshot.json
 
 # The whole paper: sections 4-6, every table and figure (~10 s).
 repro:

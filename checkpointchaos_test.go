@@ -1,0 +1,180 @@
+package symfail
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"symfail/internal/analysis"
+	"symfail/internal/collect"
+	"symfail/internal/core"
+	"symfail/internal/phone"
+	"symfail/internal/sim"
+)
+
+// checkpointChaosDataset collects a Workers:4 field study (the PR 4 chaos
+// harness fleet shape) whose records the checkpointed study re-analyses.
+func checkpointChaosDataset(t *testing.T, seed uint64) map[string][]core.Record {
+	t.Helper()
+	fs, err := RunFieldStudy(FieldStudyConfig{
+		Seed:       seed,
+		Phones:     6,
+		Workers:    4,
+		Duration:   6 * phone.StudyMonth,
+		JoinWindow: phone.StudyMonth / 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs.Dataset.AllRecords()
+}
+
+// continuousFingerprint marshals the three continuous-operation views —
+// full tables, windowed, decaying — as the byte-identity criterion.
+func continuousFingerprint(t *testing.T, c *analysis.Continuous) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]any{
+		"tables": c.Tables(),
+		"window": c.Window(),
+		"decay":  c.Decay(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestCheckpointKillAnywhereResume is the checkpoint/resume invariant: a
+// continuous study killed at RNG-drawn points — mid-record-stream and inside
+// the checkpoint write/sync/rename protocol itself — and resumed from the
+// crash-surviving store converges to tables byte-identical to an
+// uninterrupted run. `make chaos-checkpoint` runs this under -race.
+func TestCheckpointKillAnywhereResume(t *testing.T) {
+	ds := checkpointChaosDataset(t, 20070701)
+
+	// Baseline: one uninterrupted run.
+	base, err := analysis.NewContinuous(analysis.ContinuousConfig{
+		Store: collect.NewCrashStore(nil), CheckpointEvery: 48, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Feed(ds); err != nil {
+		t.Fatal(err)
+	}
+	want := continuousFingerprint(t, base)
+
+	// Chaos: the same study over a crash-faithful store, killed 12 times at
+	// RNG-drawn points. Every third kill lands inside the checkpoint
+	// protocol (staged / synced / installed — the final checkpoint always
+	// visits all three, so a draw in [1,3] is guaranteed to fire); the rest
+	// land mid-record-stream, drawn over the records this incarnation will
+	// actually re-feed.
+	total := 0
+	for _, recs := range ds {
+		total += len(recs)
+	}
+	killRng := sim.NewRand(20070702)
+	store := collect.NewCrashStore(sim.NewRand(20070703))
+	const kills = 12
+	killsFired, ckptKills, resumes := 0, 0, 0
+	var c *analysis.Continuous
+	for {
+		c, err = analysis.NewContinuous(analysis.ContinuousConfig{Store: store, CheckpointEvery: 48, Seed: 1})
+		if err != nil {
+			t.Fatalf("resume %d: %v", resumes, err)
+		}
+		if resumes > 0 && store.Size(analysis.CheckpointFile) > 0 && !c.Resumed() {
+			t.Fatalf("resume %d: checkpoint present but run did not resume", resumes)
+		}
+		if killsFired < kills {
+			remaining := total - c.Fed()
+			ckpt := killsFired%3 == 1 || remaining <= 0
+			at := 1 + killRng.Intn(3)
+			if !ckpt {
+				at = 1 + killRng.Intn(remaining)
+			}
+			nObs, nCkpt := 0, 0
+			c, err = analysis.NewContinuous(analysis.ContinuousConfig{
+				Store: store, CheckpointEvery: 48, Seed: 1,
+				Crashpoint: func(point string) bool {
+					if point == "observe" {
+						nObs++
+						return !ckpt && nObs == at
+					}
+					nCkpt++
+					return ckpt && nCkpt == at
+				},
+			})
+			if err != nil {
+				t.Fatalf("resume %d: %v", resumes, err)
+			}
+			if err = c.Feed(ds); err != nil {
+				if !errors.Is(err, analysis.ErrKilled) {
+					t.Fatalf("resume %d: %v", resumes, err)
+				}
+				if ckpt {
+					ckptKills++
+				}
+				killsFired++
+				resumes++
+				// The process died: staged checkpoint writes are lost,
+				// synced ones survive — the collection server's crash model.
+				store.Crash()
+				continue
+			}
+			t.Fatalf("kill %d (ckpt=%v at=%d, %d remaining) never fired", killsFired, ckpt, at, remaining)
+		}
+		if err = c.Feed(ds); err != nil {
+			t.Fatalf("final run: %v", err)
+		}
+		break
+	}
+
+	if killsFired < kills {
+		t.Fatalf("only %d kills fired — the kill-anywhere harness is not killing anywhere", killsFired)
+	}
+	if ckptKills == 0 {
+		t.Fatal("no kill landed inside the checkpoint protocol")
+	}
+	if got := continuousFingerprint(t, c); got != want {
+		t.Errorf("resumed study diverged from uninterrupted run after %d kills (%d mid-checkpoint)",
+			killsFired, ckptKills)
+	}
+	if c.Fed() != base.Fed() {
+		t.Errorf("resumed study fed %d records, uninterrupted fed %d", c.Fed(), base.Fed())
+	}
+}
+
+// TestCheckpointResumeAcrossRuns: the checkpoint also carries the epoch
+// forward across orderly stops — a second Feed over the same dataset from a
+// restored run observes nothing new, and its views match the first run's.
+func TestCheckpointResumeAcrossRuns(t *testing.T) {
+	ds := checkpointChaosDataset(t, 20070704)
+	store := collect.NewCrashStore(nil)
+	first, err := analysis.NewContinuous(analysis.ContinuousConfig{Store: store, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Feed(ds); err != nil {
+		t.Fatal(err)
+	}
+	want := continuousFingerprint(t, first)
+
+	second, err := analysis.NewContinuous(analysis.ContinuousConfig{Store: store, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Resumed() {
+		t.Fatal("second run did not resume from the installed checkpoint")
+	}
+	if err := second.Feed(ds); err != nil {
+		t.Fatal(err)
+	}
+	if second.Fed() != first.Fed() {
+		t.Errorf("resumed run re-fed records: %d vs %d", second.Fed(), first.Fed())
+	}
+	if got := continuousFingerprint(t, second); got != want {
+		t.Error("restored run's views differ from the original's")
+	}
+}

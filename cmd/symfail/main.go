@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"time"
 
 	"symfail"
@@ -46,6 +48,7 @@ func run(args []string) error {
 		extras     = fs.Bool("extras", false, "print beyond-the-paper analyses and the user-report extension")
 		export     = fs.String("export", "", "export the collected dataset to this directory (for cmd/analyze)")
 		streamMode = fs.Bool("stream", false, "print live collection progress from the streaming accumulators (and, with -tcp, the server's live record tap)")
+		serveAddr  = fs.String("serve-queries", "", "after the study, keep serving the live query tier on this address (e.g. 127.0.0.1:7070) until interrupted; query it with cmd/symquery (status, mtbf, panics [n], freezerate [days])")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +134,12 @@ func run(args []string) error {
 		if *useTCP {
 			cfg.Monitor = stream.NewMonitor()
 		}
+	}
+	if *serveAddr != "" && *useTCP && *servers <= 1 {
+		// On the single-collector path the live study rides the server's
+		// record tap, so the queries served afterwards saw the study live
+		// (crash replays included — LiveStudy deduplicates them).
+		cfg.LiveStudy = stream.NewLiveStudy(cfg.Analysis)
 	}
 
 	fmt.Printf("=== Sections 5-6: field study (%d phones, %d months, seed %d) ===\n\n",
@@ -220,5 +229,46 @@ func run(args []string) error {
 		}
 		fmt.Println(report.UserReportSummary(study.Dataset.AllRecords(), truthOutput))
 	}
+	if *serveAddr != "" {
+		return serveQueries(*serveAddr, cfg.LiveStudy, cfg.Analysis, study)
+	}
+	return nil
+}
+
+// serveQueries keeps a collection server answering the QUERY verb from the
+// live study until interrupted. When the study ran without a live tap (no
+// -tcp, or a sharded fleet), the live study is rebuilt from the collected
+// dataset — equivalent to having watched the study live, since the tier's
+// dedup makes replayed deliveries and re-feeds converge.
+func serveQueries(addr string, live *stream.LiveStudy, opts stream.Config, study *symfail.FieldStudy) error {
+	if live == nil {
+		live = stream.NewLiveStudy(opts)
+		all := study.Dataset.AllRecords()
+		ids := make([]string, 0, len(all))
+		for id := range all {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			recs := append([]core.Record(nil), all[id]...)
+			sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
+			for _, r := range recs {
+				live.Observe(id, r)
+			}
+		}
+	}
+	srv, err := collect.NewServerWith(addr, collect.NewDataset(), collect.ServerConfig{Query: live.Query})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("serving live queries on %s (%d devices, %d records; ^C to stop)\n",
+		srv.Addr(), len(live.Tables().Devices), live.Records())
+	fmt.Printf("  try: go run ./cmd/symquery -addr %s mtbf\n", srv.Addr())
+	fmt.Printf("       go run ./cmd/symquery -addr %s panics 3\n", srv.Addr())
+	fmt.Printf("       go run ./cmd/symquery -addr %s freezerate 30\n", srv.Addr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 	return nil
 }

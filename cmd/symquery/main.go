@@ -1,0 +1,49 @@
+// Command symquery asks a running collection server a live analysis
+// question over the QUERY verb and prints the single-line JSON answer.
+// Start a server with `symfail -serve-queries ADDR` (optionally -tcp, so the
+// query tier watched the study live) and point symquery at it.
+//
+// Usage:
+//
+//	symquery [-addr host:port] <name> [args...]
+//
+// Queries:
+//
+//	status               device/record/duplicate/reorder counters
+//	mtbf                 exact and exponentially-decaying MTBF
+//	panics [n]           top-n decaying panic leaderboard (default 5)
+//	freezerate [days]    windowed freeze rate over the last N days
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symfail/internal/collect"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symquery", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "collection server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: symquery [-addr host:port] <status|mtbf|panics|freezerate> [args...]")
+	}
+	out, err := collect.Query(*addr, rest[0], rest[1:]...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}

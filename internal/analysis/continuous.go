@@ -1,0 +1,251 @@
+// Continuous study runs: the checkpoint/resume layer of DESIGN.md §16.
+//
+// A Continuous feeds a dataset through the full continuous-operation
+// accumulator set — the composite Tables plus the windowed and decaying
+// views — and periodically serializes the complete study state (accumulator
+// internals, feeder cursor, RNG position) through a collect.CrashStore using
+// the same staged-write / sync / atomic-rename protocol the collection
+// server uses for its snapshots. A killed run resumed from the store re-feeds
+// only the records after the last durable checkpoint, and because the
+// checkpoint codec is exact (stream/checkpoint.go), the eventual tables are
+// byte-identical to an uninterrupted run.
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"symfail/internal/analysis/stream"
+	"symfail/internal/collect"
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+// Checkpoint file names on the CrashStore. The tmp file is staged and
+// synced first; Rename is the atomic commit point, so a crash anywhere
+// leaves either the old or the new checkpoint installed, never a torn one.
+const (
+	CheckpointFile    = "study.ckpt"
+	checkpointStaging = "study.ckpt.tmp"
+)
+
+// ErrKilled reports that the configured Crashpoint hook fired: the run
+// stopped as if the process died there. Resume with a fresh NewContinuous
+// over the same store (after CrashStore.Crash, in tests).
+var ErrKilled = errors.New("analysis: continuous run killed at crashpoint")
+
+// ContinuousConfig configures a checkpointed continuous study run.
+type ContinuousConfig struct {
+	// Options are the analysis thresholds (zero fields take the paper's
+	// defaults, like everywhere else).
+	Options Options
+	// Store is the durable medium for checkpoints. Required.
+	Store *collect.CrashStore
+	// CheckpointEvery is the rough number of records between checkpoints;
+	// the exact gap is drawn from the run's RNG in [every/2, every*3/2) so
+	// checkpoint timing exercises the RNG save/restore path. Default 256.
+	CheckpointEvery int
+	// Seed seeds the checkpoint-schedule RNG of a fresh run; a resumed run
+	// restores the RNG position from the checkpoint instead.
+	Seed uint64
+	// Crashpoint, when non-nil, is consulted at named fault points
+	// ("observe" before each record; "ckpt-staged", "ckpt-synced",
+	// "ckpt-installed" inside the checkpoint protocol). Returning true
+	// kills the run there: Feed returns ErrKilled immediately.
+	Crashpoint func(point string) bool
+}
+
+// Continuous is a resumable study run. Zero value is not useful; build with
+// NewContinuous, which resumes from the store's checkpoint when one exists.
+type Continuous struct {
+	cfg    ContinuousConfig
+	rng    *sim.Rand
+	tables *stream.Tables
+	window *stream.WindowAcc
+	decay  *stream.DecayAcc
+
+	// Feeder cursor: devIdx indexes the sorted device list, recIdx the
+	// current device's time-ordered records.
+	devIdx, recIdx int
+	fed            int
+	untilNext      int
+	resumed        bool
+}
+
+// continuousState is the on-store checkpoint image.
+type continuousState struct {
+	DevIdx int             `json:"devIdx"`
+	RecIdx int             `json:"recIdx"`
+	Fed    int             `json:"fed"`
+	Rng    [4]uint64       `json:"rng"`
+	Tables json.RawMessage `json:"tables"`
+	Window json.RawMessage `json:"window"`
+	Decay  json.RawMessage `json:"decay"`
+}
+
+// NewContinuous starts (or resumes) a continuous run. When the store holds
+// a checkpoint, the accumulators, feeder cursor and RNG position are
+// restored from it and Resumed reports true.
+func NewContinuous(cfg ContinuousConfig) (*Continuous, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("analysis: ContinuousConfig.Store is required")
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
+	}
+	c := &Continuous{cfg: cfg}
+	if blob := cfg.Store.Read(CheckpointFile); len(blob) > 0 {
+		var st continuousState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			return nil, fmt.Errorf("analysis: corrupt checkpoint: %w", err)
+		}
+		tables, err := stream.NewTablesFromState(st.Tables)
+		if err != nil {
+			return nil, err
+		}
+		window, err := stream.NewWindowAccFromState(st.Window)
+		if err != nil {
+			return nil, err
+		}
+		decay, err := stream.NewDecayAccFromState(st.Decay)
+		if err != nil {
+			return nil, err
+		}
+		c.tables, c.window, c.decay = tables, window, decay
+		c.rng = sim.NewRandFromState(st.Rng)
+		c.devIdx, c.recIdx, c.fed = st.DevIdx, st.RecIdx, st.Fed
+		c.resumed = true
+	} else {
+		c.tables = stream.NewTables(cfg.Options)
+		c.window = stream.NewWindowAcc(cfg.Options)
+		c.decay = stream.NewDecayAcc(cfg.Options)
+		c.rng = sim.NewRand(cfg.Seed)
+	}
+	// Both paths draw the next checkpoint gap here: an uninterrupted run
+	// draws from the state it just serialized, a resumed run from the
+	// restored copy of that same state — identical draws either way.
+	c.untilNext = c.drawGap()
+	return c, nil
+}
+
+func (c *Continuous) drawGap() int {
+	half := c.cfg.CheckpointEvery / 2
+	if half < 1 {
+		half = 1
+	}
+	return half + c.rng.Intn(c.cfg.CheckpointEvery)
+}
+
+func (c *Continuous) killed(point string) bool {
+	return c.cfg.Crashpoint != nil && c.cfg.Crashpoint(point)
+}
+
+// Feed runs the study over the dataset from the current cursor position,
+// checkpointing on schedule and once more after the last record. The
+// dataset must be the same one across resumes (per-device records are
+// stable-sorted by time, exactly like New, so the cursor indexes are
+// reproducible). Returns ErrKilled when the Crashpoint hook fires; feeding
+// the records since the last checkpoint again after resume is safe because
+// the restored accumulators have not seen them.
+func (c *Continuous) Feed(dataset map[string][]core.Record) error {
+	ids := make([]string, 0, len(dataset))
+	for id := range dataset {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for ; c.devIdx < len(ids); c.devIdx, c.recIdx = c.devIdx+1, 0 {
+		id := ids[c.devIdx]
+		c.tables.AddDevice(id)
+		ordered := append([]core.Record(nil), dataset[id]...)
+		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Time < ordered[j].Time })
+		for ; c.recIdx < len(ordered); c.recIdx++ {
+			if c.killed("observe") {
+				return ErrKilled
+			}
+			r := ordered[c.recIdx]
+			c.tables.Observe(id, r)
+			c.window.Observe(id, r)
+			c.decay.Observe(id, r)
+			c.fed++
+			if c.untilNext--; c.untilNext <= 0 {
+				// Serialize with the cursor past this record, then draw the
+				// next gap from the post-checkpoint RNG state.
+				c.recIdx++
+				err := c.Checkpoint()
+				c.recIdx--
+				if err != nil {
+					return err
+				}
+				c.untilNext = c.drawGap()
+			}
+		}
+	}
+	return c.Checkpoint()
+}
+
+// Checkpoint serializes the full study state through the staged-write /
+// sync / atomic-rename protocol. Safe to call between Feeds; returns
+// ErrKilled when the Crashpoint hook fires mid-protocol (the store then
+// holds the old checkpoint, or the new one if the rename landed).
+func (c *Continuous) Checkpoint() error {
+	tbl, err := c.tables.MarshalState()
+	if err != nil {
+		return err
+	}
+	win, err := c.window.MarshalState()
+	if err != nil {
+		return err
+	}
+	dec, err := c.decay.MarshalState()
+	if err != nil {
+		return err
+	}
+	blob, err := json.Marshal(continuousState{
+		DevIdx: c.devIdx, RecIdx: c.recIdx, Fed: c.fed,
+		Rng: c.rng.State(), Tables: tbl, Window: win, Decay: dec,
+	})
+	if err != nil {
+		return err
+	}
+	st := c.cfg.Store
+	st.WriteFile(checkpointStaging, blob)
+	if c.killed("ckpt-staged") {
+		return ErrKilled
+	}
+	st.Sync(checkpointStaging)
+	if c.killed("ckpt-synced") {
+		return ErrKilled
+	}
+	st.Rename(checkpointStaging, CheckpointFile)
+	if c.killed("ckpt-installed") {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Resumed reports whether this run was restored from a checkpoint.
+func (c *Continuous) Resumed() bool { return c.resumed }
+
+// Fed returns the total number of records observed so far (across resumes).
+func (c *Continuous) Fed() int { return c.fed }
+
+// Tables returns the current epoch's full table set. Non-destructive: the
+// run stays live.
+func (c *Continuous) Tables() *stream.TablesSnapshot {
+	return c.tables.Snapshot().(*stream.TablesSnapshot)
+}
+
+// Window returns the current epoch's windowed view.
+func (c *Continuous) Window() *stream.WindowSnapshot {
+	return c.window.Snapshot().(*stream.WindowSnapshot)
+}
+
+// WindowStats renders the windowed view over the last `days` simulated days.
+func (c *Continuous) WindowStats(days int) *stream.WindowSnapshot { return c.window.Stats(days) }
+
+// Decay returns the current epoch's exponentially-decaying view.
+func (c *Continuous) Decay() *stream.DecaySnapshot {
+	return c.decay.Snapshot().(*stream.DecaySnapshot)
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"symfail/internal/core"
@@ -17,14 +18,14 @@ type accBase struct {
 
 func (b *accBase) observe(name, id string, r core.Record) {
 	if b.sealed {
-		panic("stream: " + name + ".Observe after Snapshot")
+		panic("stream: " + name + ".Observe after Seal")
 	}
 	b.cs.observe(id, r)
 }
 
 func (b *accBase) addDevice(name, id string) {
 	if b.sealed {
-		panic("stream: " + name + ".AddDevice after Snapshot")
+		panic("stream: " + name + ".AddDevice after Seal")
 	}
 	b.cs.add(id)
 }
@@ -153,8 +154,37 @@ func (t *Tables) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the *TablesSnapshot.
-func (t *Tables) Snapshot() any { return t.Tables() }
+// Snapshot returns the current epoch's *TablesSnapshot. On a live
+// accumulator it deep-clones the pending cursor state, finishes the clone
+// and renders from it — Observe may continue afterwards. On a sealed
+// accumulator it returns the cached final snapshot.
+func (t *Tables) Snapshot() any {
+	if t.sealed {
+		return t.Tables()
+	}
+	return t.epoch().Tables()
+}
+
+// Seal finalizes the accumulator destructively (the batch path): further
+// Merges return ErrSealed and further Observes panic.
+func (t *Tables) Seal() { t.Tables() }
+
+// epoch deep-clones the live accumulator: reducers first, then the cursor
+// set with the clone as its event sink.
+func (t *Tables) epoch() *Tables {
+	c := &Tables{
+		panics:   t.panics.clone(),
+		reboots:  t.reboots.clone(),
+		mtbf:     t.mtbf.clone(),
+		coal:     t.coal.clone(),
+		bursts:   t.bursts.clone(),
+		activity: t.activity.clone(),
+		apps:     t.apps.clone(),
+	}
+	c.cfg = t.cfg
+	c.cs = t.cs.clone(c)
+	return c
+}
 
 // Tables finalizes (sealing the accumulator) and returns every table.
 func (t *Tables) Tables() *TablesSnapshot {
@@ -297,21 +327,55 @@ func (c *Collect) Finish() {
 	c.cs.finish()
 }
 
-// Snapshot finalizes and returns the *CollectSnapshot.
+// Seal is Finish: the destructive seal of the batch path.
+func (c *Collect) Seal() { c.Finish() }
+
+// epoch deep-clones the live accumulator. Finalized events are immutable
+// once emitted, so the event slices copy their headers but share the
+// events; the pending cursor graph is deep-copied.
+func (c *Collect) epoch() *Collect {
+	o := NewCollect(c.cfg)
+	for id, v := range c.panics {
+		o.panics[id] = slices.Clone(v)
+	}
+	for id, v := range c.hls {
+		o.hls[id] = slices.Clone(v)
+	}
+	for id, v := range c.durs {
+		o.durs[id] = slices.Clone(v)
+	}
+	for id, v := range c.uptime {
+		o.uptime[id] = v
+	}
+	o.explained = c.explained
+	o.nPanics = c.nPanics
+	o.nHLs = c.nHLs
+	o.nReboots = c.nReboots
+	o.cs = c.cs.clone(o)
+	return o
+}
+
+// Snapshot returns the current epoch's *CollectSnapshot; on a live
+// accumulator the pending state is finished in a deep copy, so Observe may
+// continue afterwards.
 func (c *Collect) Snapshot() any {
-	c.Finish()
-	devices := c.cs.devices()
+	cc := c
+	if !c.sealed {
+		cc = c.epoch()
+	}
+	cc.Finish()
+	devices := cc.cs.devices()
 	var hours float64
 	for _, id := range devices {
-		hours += c.uptime[id]
+		hours += cc.uptime[id]
 	}
 	return &CollectSnapshot{
 		Devices:            devices,
-		Records:            c.cs.records,
-		Panics:             c.nPanics,
-		HLEvents:           c.nHLs,
-		Reboots:            c.nReboots,
-		ExplainedShutdowns: c.explained,
+		Records:            cc.cs.records,
+		Panics:             cc.nPanics,
+		HLEvents:           cc.nHLs,
+		Reboots:            cc.nReboots,
+		ExplainedShutdowns: cc.explained,
 		UptimeHours:        hours,
 	}
 }
@@ -361,13 +425,16 @@ type MonitorSnapshot struct {
 // Monitor counts records without any per-device ordering assumptions: safe
 // to feed from the collection server's live record tap, where records of
 // one device arrive as uploads land (out of order across devices, and
-// possibly again after an injected crash recovery). Its counts are
-// monitoring-grade — exact over an orderly run, an overcount when crash
-// recovery replays an upload — never analysis-grade. Monitor is the one
-// accumulator that is safe for concurrent Observe calls.
+// again when a crash-recovered server replays an upload — a restarted
+// incarnation's acked ledger starts empty, so OnRecord delivery is
+// at-least-once). Monitor deduplicates by the record's serialized form per
+// device, so replays across a checkpoint/resume or crash/restart boundary
+// never double-count; the cost is O(distinct records) memory, the price of
+// exact counts on an at-least-once tap. Monitor is the one accumulator
+// that is safe for concurrent Observe calls.
 type Monitor struct {
 	mu      sync.Mutex
-	devices map[string]bool
+	devices map[string]map[string]string // device -> serialized record -> kind
 	records int
 	byKind  map[string]int
 	sealed  bool
@@ -376,22 +443,37 @@ type Monitor struct {
 
 // NewMonitor builds a live-tap counter.
 func NewMonitor() *Monitor {
-	return &Monitor{devices: make(map[string]bool), byKind: make(map[string]int)}
+	return &Monitor{devices: make(map[string]map[string]string), byKind: make(map[string]int)}
 }
 
-// Observe counts one record.
+// Observe counts one record; a record already seen for this device (an
+// at-least-once replay) is ignored.
 func (m *Monitor) Observe(deviceID string, r core.Record) {
+	key := string(core.AppendRecordLine(nil, r))
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.sealed {
-		panic("stream: Monitor.Observe after Snapshot")
+		panic("stream: Monitor.Observe after Seal")
 	}
-	m.devices[deviceID] = true
-	m.records++
-	m.byKind[r.Kind]++
+	m.insertLocked(deviceID, key, r.Kind)
 }
 
-// Merge absorbs another Monitor. Device overlap is allowed: counters add.
+func (m *Monitor) insertLocked(deviceID, key, kind string) {
+	seen := m.devices[deviceID]
+	if seen == nil {
+		seen = make(map[string]string)
+		m.devices[deviceID] = seen
+	}
+	if _, dup := seen[key]; dup {
+		return
+	}
+	seen[key] = kind
+	m.records++
+	m.byKind[kind]++
+}
+
+// Merge absorbs another Monitor. Device overlap is allowed: the seen sets
+// union, so a record observed by both sides still counts once.
 func (m *Monitor) Merge(other Accumulator) error {
 	o, ok := other.(*Monitor)
 	if !ok {
@@ -404,31 +486,43 @@ func (m *Monitor) Merge(other Accumulator) error {
 	if m.sealed || o.sealed {
 		return fmt.Errorf("%w: Monitor", ErrSealed)
 	}
-	for id := range o.devices {
-		m.devices[id] = true
+	for id, seen := range o.devices {
+		for key, kind := range seen {
+			m.insertLocked(id, key, kind)
+		}
 	}
-	for k, n := range o.byKind {
-		m.byKind[k] += n
-	}
-	m.records += o.records
 	o.sealed = true
 	return nil
 }
 
-// Snapshot seals the monitor and returns the *MonitorSnapshot.
+// Snapshot returns the *MonitorSnapshot for the current epoch. The monitor
+// is naturally re-snapshottable — its state is a fold over a set — so a
+// live monitor computes a fresh snapshot without sealing; a sealed monitor
+// returns the cached final one.
 func (m *Monitor) Snapshot() any {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.snap != nil {
 		return m.snap
 	}
-	m.sealed = true
 	byKind := make(map[string]int, len(m.byKind))
 	for k, n := range m.byKind {
 		byKind[k] = n
 	}
-	m.snap = &MonitorSnapshot{Devices: len(m.devices), Records: m.records, ByKind: byKind}
-	return m.snap
+	snap := &MonitorSnapshot{Devices: len(m.devices), Records: m.records, ByKind: byKind}
+	if m.sealed {
+		m.snap = snap
+	}
+	return snap
+}
+
+// Seal freezes the monitor: further Observes panic, further Merges return
+// ErrSealed, and Snapshot returns the cached final counts.
+func (m *Monitor) Seal() {
+	m.mu.Lock()
+	m.sealed = true
+	m.mu.Unlock()
+	_ = m.Snapshot()
 }
 
 // Peek reports live progress without sealing.
@@ -473,8 +567,20 @@ func (a *PanicTableAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the []PanicRow.
-func (a *PanicTableAcc) Snapshot() any { return a.Rows() }
+// Snapshot returns the current epoch's []PanicRow without sealing a live
+// accumulator; a sealed one returns the cached final rows.
+func (a *PanicTableAcc) Snapshot() any {
+	if a.sealed {
+		return a.Rows()
+	}
+	c := &PanicTableAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.Rows()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *PanicTableAcc) Seal() { a.Rows() }
 
 // Rows finalizes (sealing the accumulator) and returns Table 2.
 func (a *PanicTableAcc) Rows() []PanicRow {
@@ -523,8 +629,22 @@ func (a *RebootAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the *RebootSnapshot.
+// Snapshot returns the current epoch's *RebootSnapshot without sealing a
+// live accumulator; a sealed one returns the cached final snapshot.
 func (a *RebootAcc) Snapshot() any {
+	if a.sealed {
+		return a.finalize()
+	}
+	c := &RebootAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.finalize()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *RebootAcc) Seal() { a.finalize() }
+
+func (a *RebootAcc) finalize() *RebootSnapshot {
 	if a.snap == nil {
 		devices := a.seal()
 		a.snap = &RebootSnapshot{Durations: a.red.all(devices), ExplainedShutdowns: a.red.explained}
@@ -563,8 +683,20 @@ func (a *MTBFAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the MTBFReport.
-func (a *MTBFAcc) Snapshot() any { return a.Report() }
+// Snapshot returns the current epoch's MTBFReport without sealing a live
+// accumulator; a sealed one returns the cached final report.
+func (a *MTBFAcc) Snapshot() any {
+	if a.sealed {
+		return a.Report()
+	}
+	c := &MTBFAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.Report()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *MTBFAcc) Seal() { a.Report() }
 
 // Report finalizes (sealing the accumulator) and returns the headline.
 func (a *MTBFAcc) Report() MTBFReport {
@@ -609,8 +741,20 @@ func (a *CoalescenceAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the CoalescenceStats.
-func (a *CoalescenceAcc) Snapshot() any { return a.Stats() }
+// Snapshot returns the current epoch's CoalescenceStats without sealing a
+// live accumulator; a sealed one returns the cached final stats.
+func (a *CoalescenceAcc) Snapshot() any {
+	if a.sealed {
+		return a.Stats()
+	}
+	c := &CoalescenceAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.Stats()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *CoalescenceAcc) Seal() { a.Stats() }
 
 // Stats finalizes (sealing the accumulator) and returns Figure 5's data.
 func (a *CoalescenceAcc) Stats() CoalescenceStats {
@@ -653,8 +797,20 @@ func (a *BurstAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the BurstStats.
-func (a *BurstAcc) Snapshot() any { return a.Stats() }
+// Snapshot returns the current epoch's BurstStats without sealing a live
+// accumulator; a sealed one returns the cached final stats.
+func (a *BurstAcc) Snapshot() any {
+	if a.sealed {
+		return a.Stats()
+	}
+	c := &BurstAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.Stats()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *BurstAcc) Seal() { a.Stats() }
 
 // Stats finalizes (sealing the accumulator) and returns Figure 3's data.
 func (a *BurstAcc) Stats() BurstStats {
@@ -699,8 +855,20 @@ func (a *ActivityAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the []ActivityRow.
-func (a *ActivityAcc) Snapshot() any { return a.Rows() }
+// Snapshot returns the current epoch's []ActivityRow without sealing a
+// live accumulator; a sealed one returns the cached final rows.
+func (a *ActivityAcc) Snapshot() any {
+	if a.sealed {
+		return a.Rows()
+	}
+	c := &ActivityAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.Rows()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *ActivityAcc) Seal() { a.Rows() }
 
 // Rows finalizes (sealing the accumulator) and returns Table 3.
 func (a *ActivityAcc) Rows() []ActivityRow {
@@ -749,8 +917,22 @@ func (a *AppsAcc) Merge(other Accumulator) error {
 	return nil
 }
 
-// Snapshot finalizes and returns the *AppsSnapshot.
+// Snapshot returns the current epoch's *AppsSnapshot without sealing a
+// live accumulator; a sealed one returns the cached final snapshot.
 func (a *AppsAcc) Snapshot() any {
+	if a.sealed {
+		return a.finalize()
+	}
+	c := &AppsAcc{red: a.red.clone()}
+	c.cfg = a.cfg
+	c.cs = a.cs.clone(c.red)
+	return c.finalize()
+}
+
+// Seal finalizes the accumulator destructively (the batch path).
+func (a *AppsAcc) Seal() { a.finalize() }
+
+func (a *AppsAcc) finalize() *AppsSnapshot {
 	if a.snap == nil {
 		a.seal()
 		a.snap = &AppsSnapshot{RunningApps: a.red.hist(), AppTable: a.red.table(), TopApps: a.red.top(0)}

@@ -1,0 +1,547 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"symfail/internal/sim"
+)
+
+// This file is the checkpoint codec: an exact, JSON-serialized image of a
+// live accumulator's internal state — reducer folds, per-device cursor
+// graphs, pending coalescence windows — so a killed study can resume
+// mid-month and still produce byte-identical eventual tables. Exactness
+// hinges on two properties: every float crosses the boundary through Go's
+// shortest-round-trip JSON encoding (bit-exact for finite float64), and the
+// cursor DTO rebuilds the pending event graph pointer-for-pointer (best by
+// index into the open HL window, bestAll by a nil-ness-preserving sentinel,
+// open bursts from their burstOpen flags).
+
+// ---- cursor graph DTOs ----
+
+type hlState struct {
+	Kind       HLKind  `json:"kind"`
+	Time       int64   `json:"time"`
+	OffSeconds float64 `json:"off"`
+	Refd       bool    `json:"refd,omitempty"`
+}
+
+// bestAll index sentinels: the nearest any-kind HL event may have been
+// emitted already (only its nil-ness is ever read), so it cannot be an
+// index into the open window.
+const (
+	bestNone    = -1 // no candidate within the window
+	bestEmitted = -2 // candidate existed but has left the cursor
+)
+
+type panicState struct {
+	Time         int64    `json:"time"`
+	Category     string   `json:"cat"`
+	Type         int      `json:"type"`
+	Apps         []string `json:"apps,omitempty"`
+	Activity     string   `json:"act,omitempty"`
+	Burst        int      `json:"burst"`
+	BurstLen     int      `json:"burstLen"`
+	BurstOpen    bool     `json:"burstOpen,omitempty"`
+	Best         int      `json:"best"`
+	BestGapNs    int64    `json:"bestGap,omitempty"`
+	BestAll      int      `json:"bestAll"`
+	BestAllGapNs int64    `json:"bestAllGap,omitempty"`
+}
+
+type cursorState struct {
+	SessionStart int64        `json:"sessionStart"`
+	LastSeen     int64        `json:"lastSeen"`
+	Uptime       float64      `json:"uptime"`
+	HLs          []hlState    `json:"hls,omitempty"`
+	LastHL       int64        `json:"lastHL"`
+	HasHL        bool         `json:"hasHL,omitempty"`
+	Panics       []panicState `json:"panics,omitempty"`
+	Burst        int          `json:"burst"`
+	LastPanic    int64        `json:"lastPanic"`
+	HasPanic     bool         `json:"hasPanic,omitempty"`
+	Finished     bool         `json:"finished,omitempty"`
+}
+
+type cursorSetState struct {
+	Records  int                    `json:"records"`
+	Finished bool                   `json:"finished,omitempty"`
+	Cursors  map[string]cursorState `json:"cursors"`
+}
+
+func (c *deviceCursor) state() cursorState {
+	st := cursorState{
+		SessionStart: int64(c.sessionStart),
+		LastSeen:     int64(c.lastSeen),
+		Uptime:       c.uptime,
+		LastHL:       int64(c.lastHL),
+		HasHL:        c.hasHL,
+		Burst:        c.burst,
+		LastPanic:    int64(c.lastPanic),
+		HasPanic:     c.hasPanic,
+		Finished:     c.finished,
+	}
+	idx := make(map[*HLEvent]int, len(c.hls))
+	for i, hl := range c.hls {
+		idx[hl] = i
+		st.HLs = append(st.HLs, hlState{Kind: hl.Kind, Time: int64(hl.Time), OffSeconds: hl.OffSeconds, Refd: hl.refd})
+	}
+	for _, pp := range c.panics {
+		ps := panicState{
+			Time:      int64(pp.ev.Time),
+			Category:  pp.ev.Category,
+			Type:      pp.ev.Type,
+			Apps:      pp.ev.Apps,
+			Activity:  pp.ev.Activity,
+			Burst:     pp.ev.Burst,
+			BurstLen:  pp.ev.BurstLen,
+			BurstOpen: pp.burstOpen,
+			Best:      bestNone,
+			BestAll:   bestNone,
+		}
+		if pp.best != nil {
+			// best always lives in the open window: hlDone refuses to emit
+			// an event a pending panic still holds.
+			ps.Best = idx[pp.best]
+			ps.BestGapNs = int64(pp.bestGap)
+		}
+		if pp.bestAll != nil {
+			ps.BestAll = bestEmitted
+			if i, ok := idx[pp.bestAll]; ok {
+				ps.BestAll = i
+			}
+			ps.BestAllGapNs = int64(pp.bestAllGap)
+		}
+		st.Panics = append(st.Panics, ps)
+	}
+	return st
+}
+
+func cursorFromState(id string, cfg Config, sink evsink, st cursorState) *deviceCursor {
+	c := newCursor(id, cfg, sink)
+	c.sessionStart = sim.Time(st.SessionStart)
+	c.lastSeen = sim.Time(st.LastSeen)
+	c.uptime = st.Uptime
+	c.lastHL = sim.Time(st.LastHL)
+	c.hasHL = st.HasHL
+	c.burst = st.Burst
+	c.lastPanic = sim.Time(st.LastPanic)
+	c.hasPanic = st.HasPanic
+	c.finished = st.Finished
+	for _, h := range st.HLs {
+		c.hls = append(c.hls, &HLEvent{Device: id, Kind: h.Kind, Time: sim.Time(h.Time), OffSeconds: h.OffSeconds, refd: h.Refd})
+	}
+	for _, ps := range st.Panics {
+		pp := &pendingPanic{
+			ev: &PanicEvent{
+				Device:   id,
+				Time:     sim.Time(ps.Time),
+				Category: ps.Category,
+				Type:     ps.Type,
+				Apps:     ps.Apps,
+				Activity: ps.Activity,
+				Burst:    ps.Burst,
+				BurstLen: ps.BurstLen,
+			},
+			burstOpen: ps.BurstOpen,
+		}
+		if ps.Best >= 0 {
+			pp.best = c.hls[ps.Best]
+			pp.bestGap = sim.Duration(ps.BestGapNs)
+		}
+		switch {
+		case ps.BestAll >= 0:
+			pp.bestAll = c.hls[ps.BestAll]
+			pp.bestAllGap = sim.Duration(ps.BestAllGapNs)
+		case ps.BestAll == bestEmitted:
+			// The event left the cursor; only nil-ness (and the gap, for
+			// later consider calls) is ever read.
+			pp.bestAll = &HLEvent{}
+			pp.bestAllGap = sim.Duration(ps.BestAllGapNs)
+		}
+		c.panics = append(c.panics, pp)
+		if pp.burstOpen {
+			c.open = append(c.open, pp)
+		}
+	}
+	return c
+}
+
+func (cs *cursorSet) state() cursorSetState {
+	st := cursorSetState{Records: cs.records, Finished: cs.finished, Cursors: make(map[string]cursorState, len(cs.cursors))}
+	for id, c := range cs.cursors {
+		st.Cursors[id] = c.state()
+	}
+	return st
+}
+
+func cursorSetFromState(cfg Config, sink evsink, st cursorSetState) *cursorSet {
+	cs := newCursorSet(cfg, sink)
+	cs.records = st.Records
+	cs.finished = st.Finished
+	for id, c := range st.Cursors {
+		cs.cursors[id] = cursorFromState(id, cfg, sink, c)
+	}
+	return cs
+}
+
+// ---- reducer DTOs ----
+
+type panicIDState struct {
+	Cat  string `json:"cat"`
+	Type int    `json:"type"`
+}
+
+func idsState(ids map[string]panicID) map[string]panicIDState {
+	out := make(map[string]panicIDState, len(ids))
+	for k, id := range ids {
+		out[k] = panicIDState{Cat: id.cat, Type: id.ptype}
+	}
+	return out
+}
+
+func idsFromState(st map[string]panicIDState) map[string]panicID {
+	out := make(map[string]panicID, len(st))
+	for k, id := range st {
+		out[k] = panicID{cat: id.Cat, ptype: id.Type}
+	}
+	return out
+}
+
+type panicRedState struct {
+	Counts map[string]int          `json:"counts"`
+	IDs    map[string]panicIDState `json:"ids"`
+	Cats   map[string]int          `json:"cats"`
+	Total  int                     `json:"total"`
+}
+
+func (r *panicRed) state() panicRedState {
+	return panicRedState{Counts: r.counts, IDs: idsState(r.ids), Cats: r.cats, Total: r.total}
+}
+
+func panicRedFromState(st panicRedState) *panicRed {
+	r := newPanicRed()
+	for k, n := range st.Counts {
+		r.counts[k] = n
+	}
+	r.ids = idsFromState(st.IDs)
+	for k, n := range st.Cats {
+		r.cats[k] = n
+	}
+	r.total = st.Total
+	return r
+}
+
+type rebootRedState struct {
+	Durs      map[string][]float64 `json:"durs"`
+	Count     int                  `json:"count"`
+	Explained int                  `json:"explained"`
+}
+
+func (r *rebootRed) state() rebootRedState {
+	return rebootRedState{Durs: r.durs, Count: r.count, Explained: r.explained}
+}
+
+func rebootRedFromState(st rebootRedState) *rebootRed {
+	r := newRebootRed()
+	for id, v := range st.Durs {
+		r.durs[id] = v
+	}
+	r.count, r.explained = st.Count, st.Explained
+	return r
+}
+
+type mtbfRedState struct {
+	Uptime  map[string]float64 `json:"uptime"`
+	Freezes int                `json:"freezes"`
+	Selfs   int                `json:"selfs"`
+	Users   int                `json:"users"`
+}
+
+func (r *mtbfRed) state() mtbfRedState {
+	return mtbfRedState{Uptime: r.uptime, Freezes: r.freezes, Selfs: r.selfs, Users: r.users}
+}
+
+func mtbfRedFromState(st mtbfRedState) *mtbfRed {
+	r := newMTBFRed()
+	for id, h := range st.Uptime {
+		r.uptime[id] = h
+	}
+	r.freezes, r.selfs, r.users = st.Freezes, st.Selfs, st.Users
+	return r
+}
+
+type burstRedState struct {
+	SizeCounts  map[int]int    `json:"sizeCounts"`
+	LastBurst   map[string]int `json:"lastBurst"`
+	TotalPanics int            `json:"totalPanics"`
+	TotalBursts int            `json:"totalBursts"`
+	InBursts    int            `json:"inBursts"`
+}
+
+func (r *burstRed) state() burstRedState {
+	return burstRedState{SizeCounts: r.sizeCounts, LastBurst: r.lastBurst,
+		TotalPanics: r.totalPanics, TotalBursts: r.totalBursts, InBursts: r.inBursts}
+}
+
+func burstRedFromState(st burstRedState) *burstRed {
+	r := newBurstRed()
+	for sz, n := range st.SizeCounts {
+		r.sizeCounts[sz] = n
+	}
+	for id, b := range st.LastBurst {
+		r.lastBurst[id] = b
+	}
+	r.totalPanics, r.totalBursts, r.inBursts = st.TotalPanics, st.TotalBursts, st.InBursts
+	return r
+}
+
+type coalRedState struct {
+	Total    int                     `json:"total"`
+	Related  int                     `json:"related"`
+	ToFreeze int                     `json:"toFreeze"`
+	ToSelf   int                     `json:"toSelf"`
+	ByCat    map[string]RelatedCount `json:"byCat"`
+	Isolated int                     `json:"isolated"`
+	RelAll   int                     `json:"relAll"`
+}
+
+func (r *coalRed) state() coalRedState {
+	return coalRedState{Total: r.total, Related: r.related, ToFreeze: r.toFreeze,
+		ToSelf: r.toSelf, ByCat: r.byCat, Isolated: r.isolated, RelAll: r.relAll}
+}
+
+func coalRedFromState(st coalRedState) *coalRed {
+	r := newCoalRed()
+	r.total, r.related, r.toFreeze, r.toSelf = st.Total, st.Related, st.ToFreeze, st.ToSelf
+	for k, rc := range st.ByCat {
+		r.byCat[k] = rc
+	}
+	r.isolated, r.relAll = st.Isolated, st.RelAll
+	return r
+}
+
+type activityRedState struct {
+	Counts  map[string]map[string]int `json:"counts"`
+	Related int                       `json:"related"`
+	RT      int                       `json:"rt"`
+}
+
+func (r *activityRed) state() activityRedState {
+	return activityRedState{Counts: r.counts, Related: r.related, RT: r.rt}
+}
+
+func activityRedFromState(st activityRedState) *activityRed {
+	r := newActivityRed()
+	for act, byCat := range st.Counts {
+		m := make(map[string]int, len(byCat))
+		for cat, n := range byCat {
+			m[cat] = n
+		}
+		r.counts[act] = m
+	}
+	r.related, r.rt = st.Related, st.RT
+	return r
+}
+
+type appCellState struct {
+	Outcome string `json:"outcome"`
+	Cat     string `json:"cat"`
+	App     string `json:"app"`
+	Count   int    `json:"count"`
+}
+
+type appsRedState struct {
+	Cells     []appCellState `json:"cells"`
+	AppCounts map[string]int `json:"appCounts"`
+	RunApps   map[int]int    `json:"runApps"`
+	Total     int            `json:"total"`
+}
+
+func (r *appsRed) state() appsRedState {
+	st := appsRedState{AppCounts: r.appCounts, RunApps: r.runApps, Total: r.total}
+	for c, n := range r.cells {
+		st.Cells = append(st.Cells, appCellState{Outcome: c.outcome, Cat: c.cat, App: c.app, Count: n})
+	}
+	sort.Slice(st.Cells, func(i, j int) bool {
+		a, b := st.Cells[i], st.Cells[j]
+		if a.Outcome != b.Outcome {
+			return a.Outcome < b.Outcome
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		return a.App < b.App
+	})
+	return st
+}
+
+func appsRedFromState(st appsRedState) *appsRed {
+	r := newAppsRed()
+	for _, c := range st.Cells {
+		r.cells[appCell{outcome: c.Outcome, cat: c.Cat, app: c.App}] = c.Count
+	}
+	for app, n := range st.AppCounts {
+		r.appCounts[app] = n
+	}
+	for k, n := range st.RunApps {
+		r.runApps[k] = n
+	}
+	r.total = st.Total
+	return r
+}
+
+// ---- Tables ----
+
+type tablesState struct {
+	Config   Config           `json:"config"`
+	Cursors  cursorSetState   `json:"cursors"`
+	Panics   panicRedState    `json:"panics"`
+	Reboots  rebootRedState   `json:"reboots"`
+	MTBF     mtbfRedState     `json:"mtbf"`
+	Coal     coalRedState     `json:"coal"`
+	Bursts   burstRedState    `json:"bursts"`
+	Activity activityRedState `json:"activity"`
+	Apps     appsRedState     `json:"apps"`
+}
+
+// MarshalState serializes the live accumulator's full internal state —
+// reducers and the pending cursor graph — for a checkpoint. A sealed
+// accumulator cannot be checkpointed.
+func (t *Tables) MarshalState() ([]byte, error) {
+	if t.sealed {
+		return nil, fmt.Errorf("%w: Tables.MarshalState", ErrSealed)
+	}
+	return json.Marshal(tablesState{
+		Config:   t.cfg,
+		Cursors:  t.cs.state(),
+		Panics:   t.panics.state(),
+		Reboots:  t.reboots.state(),
+		MTBF:     t.mtbf.state(),
+		Coal:     t.coal.state(),
+		Bursts:   t.bursts.state(),
+		Activity: t.activity.state(),
+		Apps:     t.apps.state(),
+	})
+}
+
+// NewTablesFromState reconstructs a live accumulator from MarshalState
+// output: feeding the restored accumulator the remaining records produces
+// byte-identical tables to the uninterrupted run.
+func NewTablesFromState(data []byte) (*Tables, error) {
+	var st tablesState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("stream: Tables state: %w", err)
+	}
+	t := &Tables{
+		panics:   panicRedFromState(st.Panics),
+		reboots:  rebootRedFromState(st.Reboots),
+		mtbf:     mtbfRedFromState(st.MTBF),
+		coal:     coalRedFromState(st.Coal),
+		bursts:   burstRedFromState(st.Bursts),
+		activity: activityRedFromState(st.Activity),
+		apps:     appsRedFromState(st.Apps),
+	}
+	t.cfg = st.Config
+	t.cs = cursorSetFromState(t.cfg, t, st.Cursors)
+	return t, nil
+}
+
+// ---- WindowAcc / DecayAcc ----
+
+type bucketsState struct {
+	Session  map[string]int64        `json:"session"`
+	IDs      map[string]panicIDState `json:"ids"`
+	Panics   map[int]map[string]int  `json:"panics"`
+	Records  map[int]int             `json:"records"`
+	Freezes  map[int]int             `json:"freezes"`
+	Selfs    map[int]int             `json:"selfs"`
+	Users    map[int]int             `json:"users"`
+	UptimeNs map[int]int64           `json:"uptimeNs"`
+	MaxDay   int                     `json:"maxDay"`
+	HasData  bool                    `json:"hasData"`
+}
+
+func (b *dayBuckets) state() bucketsState {
+	session := make(map[string]int64, len(b.session))
+	for id, s := range b.session {
+		session[id] = int64(s)
+	}
+	return bucketsState{
+		Session: session, IDs: idsState(b.ids), Panics: b.panics,
+		Records: b.records, Freezes: b.freezes, Selfs: b.selfs, Users: b.users,
+		UptimeNs: b.uptimeNs, MaxDay: b.maxDay, HasData: b.hasData,
+	}
+}
+
+func bucketsFromState(st bucketsState) *dayBuckets {
+	b := newDayBuckets()
+	for id, s := range st.Session {
+		b.session[id] = sim.Time(s)
+	}
+	b.ids = idsFromState(st.IDs)
+	for d, m := range st.Panics {
+		dst := make(map[string]int, len(m))
+		for k, n := range m {
+			dst[k] = n
+		}
+		b.panics[d] = dst
+	}
+	for d, n := range st.Records {
+		b.records[d] = n
+	}
+	for d, n := range st.Freezes {
+		b.freezes[d] = n
+	}
+	for d, n := range st.Selfs {
+		b.selfs[d] = n
+	}
+	for d, n := range st.Users {
+		b.users[d] = n
+	}
+	for d, ns := range st.UptimeNs {
+		b.uptimeNs[d] = ns
+	}
+	b.maxDay, b.hasData = st.MaxDay, st.HasData
+	return b
+}
+
+type windowState struct {
+	Config  Config       `json:"config"`
+	Buckets bucketsState `json:"buckets"`
+}
+
+// MarshalState serializes the windowed accumulator's bucket state.
+func (a *WindowAcc) MarshalState() ([]byte, error) {
+	if a.sealed {
+		return nil, fmt.Errorf("%w: WindowAcc.MarshalState", ErrSealed)
+	}
+	return json.Marshal(windowState{Config: a.cfg, Buckets: a.b.state()})
+}
+
+// NewWindowAccFromState reconstructs a live windowed accumulator.
+func NewWindowAccFromState(data []byte) (*WindowAcc, error) {
+	var st windowState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("stream: WindowAcc state: %w", err)
+	}
+	return &WindowAcc{cfg: st.Config, b: bucketsFromState(st.Buckets)}, nil
+}
+
+// MarshalState serializes the decaying accumulator's bucket state.
+func (a *DecayAcc) MarshalState() ([]byte, error) {
+	if a.sealed {
+		return nil, fmt.Errorf("%w: DecayAcc.MarshalState", ErrSealed)
+	}
+	return json.Marshal(windowState{Config: a.cfg, Buckets: a.b.state()})
+}
+
+// NewDecayAccFromState reconstructs a live decaying accumulator.
+func NewDecayAccFromState(data []byte) (*DecayAcc, error) {
+	var st windowState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("stream: DecayAcc state: %w", err)
+	}
+	return &DecayAcc{cfg: st.Config, b: bucketsFromState(st.Buckets)}, nil
+}

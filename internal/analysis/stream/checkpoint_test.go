@@ -1,0 +1,147 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+
+	"symfail/internal/analysis/stream"
+	"symfail/internal/core"
+	"symfail/internal/sim"
+)
+
+// TestCheckpointRoundTrip is the codec's exactness property: marshal a live
+// accumulator mid-stream (pending bursts, open coalescence windows and all),
+// restore it, feed the remainder into both the original and the restored
+// copy, and the sealed snapshots must be byte-identical — and identical to
+// an uninterrupted run.
+func TestCheckpointRoundTrip(t *testing.T) {
+	type op struct {
+		id string
+		r  core.Record
+	}
+	f := func(seed uint64) bool {
+		ds := randomDevices(seed)
+		ids := sortedIDs(ds)
+		var ops []op
+		for i := 0; ; i++ {
+			fed := false
+			for _, id := range ids {
+				if i < len(ds[id]) {
+					ops = append(ops, op{id, ds[id][i]})
+					fed = true
+				}
+			}
+			if !fed {
+				break
+			}
+		}
+		r := sim.NewRand(seed ^ 0xcafe)
+		cut := r.Intn(len(ops) + 1)
+		cfg := stream.Config{}
+
+		type acc = stream.Accumulator
+		restoreTables := func(b []byte) (acc, error) { return stream.NewTablesFromState(b) }
+		restoreWindow := func(b []byte) (acc, error) { return stream.NewWindowAccFromState(b) }
+		restoreDecay := func(b []byte) (acc, error) { return stream.NewDecayAccFromState(b) }
+		cases := []struct {
+			name    string
+			mk      func() acc
+			marshal func(acc) ([]byte, error)
+			restore func([]byte) (acc, error)
+		}{
+			{"Tables", func() acc { return stream.NewTables(cfg) },
+				func(a acc) ([]byte, error) { return a.(*stream.Tables).MarshalState() }, restoreTables},
+			{"WindowAcc", func() acc { return stream.NewWindowAcc(cfg) },
+				func(a acc) ([]byte, error) { return a.(*stream.WindowAcc).MarshalState() }, restoreWindow},
+			{"DecayAcc", func() acc { return stream.NewDecayAcc(cfg) },
+				func(a acc) ([]byte, error) { return a.(*stream.DecayAcc).MarshalState() }, restoreDecay},
+		}
+
+		ok := true
+		for _, tc := range cases {
+			orig := tc.mk()
+			if ad, _ := orig.(addDevicer); ad != nil {
+				for _, id := range ids {
+					ad.AddDevice(id)
+				}
+			}
+			for _, o := range ops[:cut] {
+				orig.Observe(o.id, o.r)
+			}
+			blob, err := tc.marshal(orig)
+			if err != nil {
+				t.Fatalf("seed %d %s: marshal: %v", seed, tc.name, err)
+			}
+			restored, err := tc.restore(blob)
+			if err != nil {
+				t.Fatalf("seed %d %s: restore: %v", seed, tc.name, err)
+			}
+			// The restored state must serialize back to an equivalent image.
+			blob2, err := tc.marshal(restored)
+			if err != nil {
+				t.Fatalf("seed %d %s: re-marshal: %v", seed, tc.name, err)
+			}
+			var v1, v2 any
+			if json.Unmarshal(blob, &v1) != nil || json.Unmarshal(blob2, &v2) != nil {
+				t.Fatalf("seed %d %s: state not valid JSON", seed, tc.name)
+			}
+			c1, _ := json.Marshal(v1)
+			c2, _ := json.Marshal(v2)
+			if string(c1) != string(c2) {
+				t.Errorf("seed %d %s: restore changed the state image", seed, tc.name)
+				ok = false
+			}
+			for _, o := range ops[cut:] {
+				orig.Observe(o.id, o.r)
+				restored.Observe(o.id, o.r)
+			}
+			whole := tc.mk()
+			if ad, _ := whole.(addDevicer); ad != nil {
+				for _, id := range ids {
+					ad.AddDevice(id)
+				}
+			}
+			for _, o := range ops {
+				whole.Observe(o.id, o.r)
+			}
+			orig.Seal()
+			restored.Seal()
+			whole.Seal()
+			want := snapJSON(t, whole)
+			if got := snapJSON(t, orig); string(got) != string(want) {
+				t.Errorf("seed %d %s cut %d: original diverged after marshal", seed, tc.name, cut)
+				ok = false
+			}
+			if got := snapJSON(t, restored); string(got) != string(want) {
+				t.Errorf("seed %d %s cut %d: restored run differs from uninterrupted:\n got %s\nwant %s",
+					seed, tc.name, cut, got, want)
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckpointSealedRefused: a sealed accumulator has no live state to
+// checkpoint.
+func TestCheckpointSealedRefused(t *testing.T) {
+	tb := stream.NewTables(stream.Config{})
+	tb.Seal()
+	if _, err := tb.MarshalState(); err == nil {
+		t.Error("sealed Tables.MarshalState succeeded, want error")
+	}
+	w := stream.NewWindowAcc(stream.Config{})
+	w.Seal()
+	if _, err := w.MarshalState(); err == nil {
+		t.Error("sealed WindowAcc.MarshalState succeeded, want error")
+	}
+	d := stream.NewDecayAcc(stream.Config{})
+	d.Seal()
+	if _, err := d.MarshalState(); err == nil {
+		t.Error("sealed DecayAcc.MarshalState succeeded, want error")
+	}
+}

@@ -232,6 +232,47 @@ func (c *deviceCursor) advance(final bool) {
 	}
 }
 
+// clone deep-copies the cursor's pending state for an epoch snapshot,
+// rebuilding the event graph: pending HL events and panic events are
+// copied, and every pendingPanic's best pointer is remapped to the copy
+// (best always lives in hls — hlDone refuses to emit an event a pending
+// panic still holds). bestAll may point at an HL event that already left
+// the cursor; only its nil-ness is ever read, so the clone keeps the
+// original pointer rather than resurrecting the emitted event.
+func (c *deviceCursor) clone(sink evsink) *deviceCursor {
+	d := *c
+	d.sink = sink
+	hlMap := make(map[*HLEvent]*HLEvent, len(c.hls))
+	d.hls = make([]*HLEvent, len(c.hls))
+	for i, hl := range c.hls {
+		cp := *hl
+		d.hls[i] = &cp
+		hlMap[hl] = &cp
+	}
+	ppMap := make(map[*pendingPanic]*pendingPanic, len(c.panics))
+	d.panics = make([]*pendingPanic, len(c.panics))
+	for i, pp := range c.panics {
+		cp := *pp
+		ev := *pp.ev
+		cp.ev = &ev
+		if pp.best != nil {
+			cp.best = hlMap[pp.best]
+		}
+		if pp.bestAll != nil {
+			if m := hlMap[pp.bestAll]; m != nil {
+				cp.bestAll = m
+			}
+		}
+		d.panics[i] = &cp
+		ppMap[pp] = &cp
+	}
+	d.open = make([]*pendingPanic, len(c.open))
+	for i, pp := range c.open {
+		d.open[i] = ppMap[pp]
+	}
+	return &d
+}
+
 func (c *deviceCursor) pendingRefs(hl *HLEvent) bool {
 	for _, pp := range c.panics {
 		if pp.best == hl {
@@ -304,6 +345,18 @@ func (cs *cursorSet) merge(other *cursorSet) error {
 	}
 	cs.records += other.records
 	return nil
+}
+
+// clone deep-copies the set for an epoch snapshot; the clones emit into
+// the given sink (the snapshot's own reducers).
+func (cs *cursorSet) clone(sink evsink) *cursorSet {
+	out := newCursorSet(cs.cfg, sink)
+	out.records = cs.records
+	out.finished = cs.finished
+	for id, c := range cs.cursors {
+		out.cursors[id] = c.clone(sink)
+	}
+	return out
 }
 
 // finish flushes every cursor, in sorted device order. Idempotent.

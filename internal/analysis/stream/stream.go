@@ -32,9 +32,20 @@ import (
 // absorbs another accumulator of the same concrete type built over a
 // disjoint device set, leaving the argument sealed; it reports ErrSealed,
 // ErrTypeMismatch, ErrConfigMismatch or ErrDeviceOverlap without modifying
-// either side. Snapshot finalizes the pending per-device state, seals the
-// accumulator (further Merges error, further Observes panic) and returns
-// the experiment's result; calling it again returns the same value.
+// either side.
+//
+// Snapshot is an epoch snapshot: a repeatable, read-only seal of the
+// current epoch. On a live accumulator it finalizes a deep copy of the
+// pending per-device state and renders the experiment's result from the
+// copy, so Observe and Merge may continue afterwards and a later Snapshot
+// reflects the records observed since. Snapshot of a fully-fed accumulator
+// is byte-identical to the snapshot after Seal.
+//
+// Seal finalizes the accumulator destructively — the batch path: pending
+// cursor state is flushed in place, further Merges return ErrSealed,
+// further Observes panic, and Snapshot returns the cached final result.
+// The batch finalizers (Tables, Rows, Report, Stats, Finish) seal
+// implicitly.
 //
 // Merge is associative and order-insensitive: any merge tree over any
 // device-disjoint sharding of the same observations snapshots to identical
@@ -44,6 +55,7 @@ type Accumulator interface {
 	Observe(deviceID string, r core.Record)
 	Merge(other Accumulator) error
 	Snapshot() any
+	Seal()
 }
 
 // Config tunes the analysis thresholds, defaulting to the paper's choices.
@@ -59,14 +71,25 @@ type Config struct {
 	// BurstWindow groups panics into cascades: two panics closer than the
 	// window belong to the same burst.
 	BurstWindow time.Duration
+	// Window is the hard-cutoff horizon of the windowed accumulators
+	// (WindowAcc): a snapshot covers the last Window of simulated time,
+	// in whole simulated days, ending at the latest observed day.
+	Window time.Duration
+	// DecayHalfLife is the exponential-decay horizon of the decaying
+	// accumulators (DecayAcc): a bucket one half-life old weighs half as
+	// much as today's.
+	DecayHalfLife time.Duration
 }
 
-// DefaultConfig returns the paper's thresholds.
+// DefaultConfig returns the paper's thresholds, a 30-day window and a
+// 7-day half-life for the continuous-operation accumulators.
 func DefaultConfig() Config {
 	return Config{
 		SelfShutdownThreshold: 360 * time.Second,
 		CoalescenceWindow:     5 * time.Minute,
 		BurstWindow:           2 * time.Minute,
+		Window:                30 * 24 * time.Hour,
+		DecayHalfLife:         7 * 24 * time.Hour,
 	}
 }
 
@@ -82,14 +105,20 @@ func (c Config) WithDefaults() Config {
 	if c.BurstWindow <= 0 {
 		c.BurstWindow = d.BurstWindow
 	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.DecayHalfLife <= 0 {
+		c.DecayHalfLife = d.DecayHalfLife
+	}
 	return c
 }
 
 // Merge errors. All are wrapped, so errors.Is works on the results.
 var (
-	// ErrSealed: the accumulator (or its argument) has already produced a
-	// Snapshot and can no longer change.
-	ErrSealed = errors.New("stream: accumulator sealed by Snapshot")
+	// ErrSealed: the accumulator (or its argument) has been sealed by
+	// Seal (or a batch finalizer) and can no longer change.
+	ErrSealed = errors.New("stream: accumulator sealed")
 	// ErrDeviceOverlap: both sides observed the same device. Shards must
 	// be device-disjoint; records of one device cannot be split.
 	ErrDeviceOverlap = errors.New("stream: device observed by both merge sides")
@@ -116,6 +145,8 @@ var RegisteredAccumulators = map[string]bool{
 	"BurstAcc":       true,
 	"ActivityAcc":    true,
 	"AppsAcc":        true,
+	"WindowAcc":      true,
+	"DecayAcc":       true,
 }
 
 // NewRegistered constructs one accumulator of every registered type, keyed
@@ -133,6 +164,8 @@ func NewRegistered(cfg Config) map[string]Accumulator {
 		"BurstAcc":       NewBurstAcc(cfg),
 		"ActivityAcc":    NewActivityAcc(cfg),
 		"AppsAcc":        NewAppsAcc(cfg),
+		"WindowAcc":      NewWindowAcc(cfg),
+		"DecayAcc":       NewDecayAcc(cfg),
 	}
 }
 

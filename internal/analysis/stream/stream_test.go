@@ -203,15 +203,22 @@ func TestStreamMergeOrderInsensitive(t *testing.T) {
 	}
 }
 
-// TestStreamMergeAfterSnapshotErrors: Snapshot seals, and a sealed
-// accumulator can neither merge nor be merged.
-func TestStreamMergeAfterSnapshotErrors(t *testing.T) {
+// TestStreamMergeAfterSealErrors: Seal is destructive, and a sealed
+// accumulator can neither merge nor be merged. Snapshot, by contrast, is an
+// epoch read — it must leave the accumulator live and mergeable.
+func TestStreamMergeAfterSealErrors(t *testing.T) {
 	ds := randomDevices(3)
 	for name := range stream.RegisteredAccumulators {
 		cfg := stream.Config{}
 		sealed := stream.NewRegistered(cfg)[name]
 		feedAcc(sealed, ds, []string{"a"})
-		_ = sealed.Snapshot()
+		_ = sealed.Snapshot() // epoch snapshot: must NOT seal
+		other := stream.NewRegistered(cfg)[name]
+		feedAcc(other, ds, []string{"c"})
+		if err := sealed.Merge(other); err != nil {
+			t.Errorf("%s: Merge after epoch Snapshot = %v, want nil", name, err)
+		}
+		sealed.Seal()
 		live := stream.NewRegistered(cfg)[name]
 		feedAcc(live, ds, []string{"b"})
 		if err := sealed.Merge(live); !errors.Is(err, stream.ErrSealed) {
@@ -220,6 +227,84 @@ func TestStreamMergeAfterSnapshotErrors(t *testing.T) {
 		if err := live.Merge(sealed); !errors.Is(err, stream.ErrSealed) {
 			t.Errorf("%s: live.Merge(sealed) = %v, want ErrSealed", name, err)
 		}
+	}
+}
+
+// TestStreamResnapshotLaw is the epoch-snapshot property: for every
+// registered accumulator, a Snapshot taken mid-stream (cursors still holding
+// pending events) is byte-identical to the sealed snapshot of a fresh
+// accumulator fed exactly the same prefix — and taking it does not perturb
+// the result of anything observed afterwards.
+func TestStreamResnapshotLaw(t *testing.T) {
+	type op struct {
+		id string
+		r  core.Record
+	}
+	f := func(seed uint64) bool {
+		ds := randomDevices(seed)
+		ids := sortedIDs(ds)
+		// Flatten to one interleaved feed order (round-robin across devices).
+		var ops []op
+		for i := 0; ; i++ {
+			fed := false
+			for _, id := range ids {
+				if i < len(ds[id]) {
+					ops = append(ops, op{id, ds[id][i]})
+					fed = true
+				}
+			}
+			if !fed {
+				break
+			}
+		}
+		r := sim.NewRand(seed ^ 0xc0de)
+		cut := r.Intn(len(ops) + 1)
+		ok := true
+		for name, acc := range stream.NewRegistered(stream.Config{}) {
+			mk := func(n int, seal bool) []byte {
+				a := stream.NewRegistered(stream.Config{})[name]
+				ad, _ := a.(addDevicer)
+				for _, id := range ids {
+					if ad != nil {
+						ad.AddDevice(id)
+					}
+				}
+				for _, o := range ops[:n] {
+					a.Observe(o.id, o.r)
+				}
+				if seal {
+					a.Seal()
+				}
+				return snapJSON(t, a)
+			}
+			if ad, _ := acc.(addDevicer); ad != nil {
+				for _, id := range ids {
+					ad.AddDevice(id)
+				}
+			}
+			for _, o := range ops[:cut] {
+				acc.Observe(o.id, o.r)
+			}
+			// Epoch snapshot mid-stream == sealed snapshot of the prefix.
+			if mid, want := snapJSON(t, acc), mk(cut, true); string(mid) != string(want) {
+				t.Errorf("seed %d %s cut %d/%d: epoch snapshot differs from sealed prefix:\n got %s\nwant %s",
+					seed, name, cut, len(ops), mid, want)
+				ok = false
+			}
+			// Snapshotting must not have perturbed the live accumulator.
+			for _, o := range ops[cut:] {
+				acc.Observe(o.id, o.r)
+			}
+			if got, want := snapJSON(t, acc), mk(len(ops), false); string(got) != string(want) {
+				t.Errorf("seed %d %s cut %d/%d: feeding past an epoch snapshot diverged:\n got %s\nwant %s",
+					seed, name, cut, len(ops), got, want)
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -308,25 +393,29 @@ func TestStreamTablesMatchesStudy(t *testing.T) {
 	}
 }
 
-// TestStreamMonitor: the live tap tolerates duplicates and overlap merges —
-// it counts what it is fed.
+// TestStreamMonitor: the live tap deduplicates at-least-once delivery —
+// replayed records and overlap merges count each distinct record once.
 func TestStreamMonitor(t *testing.T) {
 	m := stream.NewMonitor()
 	rec := core.Record{Kind: core.KindPanic, Time: 1, Category: "KERN-EXEC", PType: 3}
 	m.Observe("a", rec)
-	m.Observe("a", rec) // duplicate delivery
+	m.Observe("a", rec) // duplicate delivery: counted once
 	m.Observe("b", core.Record{Kind: core.KindBoot, Time: 2, Boot: 2})
 	o := stream.NewMonitor()
-	o.Observe("a", rec) // overlapping device
+	o.Observe("a", rec) // overlapping device, same record: still once
+	o.Observe("a", core.Record{Kind: core.KindPanic, Time: 5, Category: "USER", PType: 7})
 	if err := m.Merge(o); err != nil {
 		t.Fatalf("overlap merge: %v", err)
 	}
 	ms := m.Snapshot().(*stream.MonitorSnapshot)
-	if ms.Devices != 2 || ms.Records != 4 || ms.ByKind[core.KindPanic] != 3 {
-		t.Errorf("monitor snapshot = %+v, want 2 devices, 4 records, 3 panics", ms)
+	if ms.Devices != 2 || ms.Records != 3 || ms.ByKind[core.KindPanic] != 2 {
+		t.Errorf("monitor snapshot = %+v, want 2 devices, 3 records, 2 panics", ms)
 	}
+	// Live snapshots are fresh epoch values; after Seal the final one is cached.
+	m.Seal()
+	ms = m.Snapshot().(*stream.MonitorSnapshot)
 	if m.Snapshot().(*stream.MonitorSnapshot) != ms {
-		t.Error("second Snapshot returned a different value")
+		t.Error("second Snapshot after Seal returned a different value")
 	}
 }
 

@@ -235,6 +235,16 @@ type ServerConfig struct {
 	// study end instead).
 	OnRecord func(deviceID string, r core.Record)
 
+	// Query, when set, serves the read-only QUERY verb: the hook receives
+	// the query name and arguments and returns a single-line answer
+	// (conventionally compact JSON). Like PING, a QUERY is outside the
+	// supervisor's request accounting — reads must not advance injected kill
+	// schedules — and touches no durable state. The hook runs WITHOUT the
+	// server mutex held (it typically locks a live accumulator of its own),
+	// so it must be safe under concurrent uploads. Nil rejects QUERY with
+	// "ERR queries not served".
+	Query func(name string, args []string) (string, error)
+
 	// monitor is the supervisor hook: it schedules injected crashes and is
 	// told when this incarnation dies. Only the Supervisor sets it.
 	monitor *Supervisor
@@ -403,6 +413,8 @@ func (s *Server) handle(conn net.Conn) {
 		s.handleHandoff(conn, r, fields)
 	case "PING":
 		s.handlePing(conn)
+	case "QUERY":
+		s.handleQuery(conn, fields)
 	default:
 		fmt.Fprint(conn, "ERR bad header\n")
 	}
@@ -417,6 +429,34 @@ func (s *Server) handlePing(conn net.Conn) {
 		return
 	}
 	fmt.Fprint(conn, "OK\n")
+}
+
+// handleQuery serves the read-only query verb. Like PING it is outside the
+// supervisor's request accounting and touches no durable state: the answer
+// comes entirely from the ServerConfig.Query hook (the live analysis tier),
+// never from the dataset or the WAL.
+func (s *Server) handleQuery(conn net.Conn, fields []string) {
+	if s.isDead() {
+		return
+	}
+	if s.cfg.Query == nil {
+		fmt.Fprint(conn, "ERR queries not served\n")
+		return
+	}
+	if len(fields) < 2 {
+		fmt.Fprint(conn, "ERR bad header\n")
+		return
+	}
+	out, err := s.cfg.Query(fields[1], fields[2:])
+	if err != nil {
+		fmt.Fprintf(conn, "ERR %v\n", err)
+		return
+	}
+	if strings.ContainsAny(out, "\n") {
+		fmt.Fprint(conn, "ERR query answer not single-line\n")
+		return
+	}
+	fmt.Fprintf(conn, "OK %s\n", out)
 }
 
 // isDead reports whether this incarnation has been crashed (marked dead by
@@ -1034,6 +1074,48 @@ func Ping(addr string) error {
 		return fmt.Errorf("collect: server rejected ping: %s", strings.TrimSpace(reply))
 	}
 	return nil
+}
+
+// Query asks the collection server at addr a read-only question and returns
+// the single-line answer (compact JSON by convention). The whole exchange is
+// one header line each way: "QUERY <name> [args...]" out, "OK <answer>" back.
+// Queries are served from the live analysis tier, not the durable dataset,
+// and never mutate server state.
+func Query(addr, name string, args ...string) (string, error) {
+	if strings.ContainsAny(name, " \n\t") || name == "" {
+		return "", fmt.Errorf("collect: invalid query name %q", name)
+	}
+	parts := append([]string{"QUERY", name}, args...)
+	for _, a := range args {
+		if strings.ContainsAny(a, " \n\t") || a == "" {
+			return "", fmt.Errorf("collect: invalid query argument %q", a)
+		}
+	}
+	header := strings.Join(parts, " ")
+	if len(header)+1 > MaxHeaderBytes {
+		return "", errors.New("collect: query too long")
+	}
+	conn, err := dialCollect(addr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", header); err != nil {
+		return "", fmt.Errorf("collect: send header: %w", err)
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("collect: read reply: %w", err)
+	}
+	reply = strings.TrimSpace(reply)
+	switch {
+	case reply == "OK":
+		return "", nil
+	case strings.HasPrefix(reply, "OK "):
+		return reply[len("OK "):], nil
+	default:
+		return "", fmt.Errorf("collect: server rejected query: %s", reply)
+	}
 }
 
 // Fin tells the collection server a device's chunk stream is done (the

@@ -134,6 +134,14 @@ type Supervisor struct {
 
 	tapMu sync.Mutex
 
+	// routerMu serializes router restarts: two kills fired in quick
+	// succession (untilKill can be drawn as low as 1) would otherwise race
+	// two restart goroutines binding the same pinned address — the loser
+	// burns its whole rebind budget on EADDRINUSE and reports a spurious
+	// fleet error. Serialized, the second restart kills the first's fresh
+	// incarnation and rebinds: two kills, two restarts, one address.
+	routerMu sync.Mutex
+
 	// replicateR/writeW are the resolved R/W (1/1 when replication is off);
 	// the beat* fields are the resolved failure-detector calibration.
 	replicateR   int
@@ -808,6 +816,8 @@ func (f *Supervisor) Leave() error {
 // killing request returns, clients dialing the fleet address reach the new
 // incarnation (their in-flight requests died unanswered, like any crash).
 func (f *Supervisor) restartRouter() {
+	f.routerMu.Lock()
+	defer f.routerMu.Unlock()
 	f.mu.Lock()
 	old := f.router
 	f.mu.Unlock()
@@ -816,11 +826,17 @@ func (f *Supervisor) restartRouter() {
 	}
 	var rt *Router
 	var err error
-	for attempt := 0; attempt < 10; attempt++ {
+	for attempt := 0; attempt < 100; attempt++ {
 		if attempt > 0 {
-			// Host-time pause for the dead listener's port to free up.
+			// Host-time pause for the dead listener's port to free up; on a
+			// loaded single-CPU host the dying accept loop can hold the fd
+			// well past the first few pauses, so the budget is generous.
+			pause := time.Duration(attempt) * time.Millisecond
+			if pause > 10*time.Millisecond {
+				pause = 10 * time.Millisecond
+			}
 			//symlint:allow determinism host-time pause rebinding a real TCP listener
-			time.Sleep(time.Duration(attempt) * time.Millisecond)
+			time.Sleep(pause)
 		}
 		rt, err = newRouter(f.addr, f.routerHooks())
 		if err == nil {

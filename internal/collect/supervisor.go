@@ -103,6 +103,11 @@ type SupervisorConfig struct {
 	// re-sent records fire the tap again — consumers must be order- and
 	// duplicate-tolerant.
 	OnRecord func(deviceID string, r core.Record)
+	// Query passes through to ServerConfig.Query for every incarnation,
+	// restarts included, so the live query tier survives injected crashes
+	// (the answers come from the OnRecord-fed accumulators, which outlive
+	// any one server incarnation).
+	Query func(name string, args []string) (string, error)
 	// OnCrash, when set, runs after an injected kill has been harvested but
 	// before the replacement server is constructed — the window in which a
 	// real operator would fail the dead shard's data over to a peer. It runs
@@ -182,6 +187,7 @@ func NewSupervisor(addr string, ds *Dataset, cfg SupervisorConfig) (*Supervisor,
 		CompactEvery:   cfg.CompactEvery,
 		Store:          sup.store,
 		OnRecord:       cfg.OnRecord,
+		Query:          cfg.Query,
 		Replicate:      cfg.Replicate,
 		monitor:        sup,
 	}

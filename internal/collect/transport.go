@@ -174,8 +174,19 @@ func IsBelowQuorum(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "quorum")
 }
 
+// IsTransient reports whether an error names a transport-level window — a
+// dead connection or an unreachable shard — rather than a protocol answer.
+// Callers with their own host-time retry loops (the end-of-study upload)
+// use it to keep waiting out a slow server restart instead of failing fast.
+func IsTransient(err error) bool { return transientNetErr(err) }
+
+// The budget is deliberately generous (3s of host time): on a loaded
+// single-CPU host a restarting shard's WAL replay competes with every
+// simulation worker for the one core, and a kill window that outlives
+// this loop surfaces a transport error the simulated uploader answers
+// with half an hour of simulated backoff — changing the collected bytes.
 func retryNet(do func() error) {
-	for attempt := 0; attempt < 60; attempt++ {
+	for attempt := 0; attempt < 600; attempt++ {
 		if attempt > 0 {
 			// Host-time pause while a real router/shard rebinds; the
 			// simulation never observes it.

@@ -21,10 +21,12 @@ type Accumulator interface {
 // RegisteredAccumulators stands in for stream.RegisteredAccumulators.
 // "Ghost" has no implementation below, so the reverse check must flag it.
 var RegisteredAccumulators = map[string]bool{
-	"Counter": true,
-	"Hoarder": true,
-	"Nested":  true,
-	"Ghost":   true, // want: no implementation
+	"Counter":         true,
+	"Hoarder":         true,
+	"Nested":          true,
+	"WindowedCounter": true,
+	"DecayingHoarder": true,
+	"Ghost":           true, // want: no implementation
 }
 
 // Counter is the clean case: registered, folds records into bounded state.
@@ -76,6 +78,51 @@ func (n *Nested) Observe(deviceID string, r Record) {
 }
 func (n *Nested) Merge(other Accumulator) error { return nil }
 func (n *Nested) Snapshot() any                 { return n.buf.count }
+
+// WindowedCounter is the continuous-operation clean case (mirrors
+// stream.WindowAcc): records fold into per-day integer buckets — bounded
+// state, re-snapshottable, no Record survives Observe.
+type WindowedCounter struct {
+	perDay  map[int]int
+	byKind  map[int]map[string]int
+	session map[string]int64
+	maxDay  int
+}
+
+func (w *WindowedCounter) Observe(deviceID string, r Record) {
+	day := int(r.Time / 86400)
+	w.perDay[day]++
+	m := w.byKind[day]
+	if m == nil {
+		m = make(map[string]int)
+		w.byKind[day] = m
+	}
+	m[r.Kind]++
+	w.session[deviceID] = r.Time
+	if day > w.maxDay {
+		w.maxDay = day
+	}
+}
+func (w *WindowedCounter) Merge(other Accumulator) error { return nil }
+func (w *WindowedCounter) Snapshot() any                 { return w.perDay }
+
+// DecayingHoarder gets the windowed shape wrong: it keys buckets by day but
+// keeps the raw records inside them, so the "window" still grows with the
+// record stream, not the day count.
+type DecayingHoarder struct {
+	buckets map[int][]Record // want: retains Record
+	maxDay  int
+}
+
+func (d *DecayingHoarder) Observe(deviceID string, r Record) {
+	day := int(r.Time / 86400)
+	d.buckets[day] = append(d.buckets[day], r)
+	if day > d.maxDay {
+		d.maxDay = day
+	}
+}
+func (d *DecayingHoarder) Merge(other Accumulator) error { return nil }
+func (d *DecayingHoarder) Snapshot() any                 { return d.maxDay }
 
 // Rogue implements Accumulator but is missing from the registry, so the
 // merge-law tests would never exercise it.

@@ -99,6 +99,13 @@ type FieldStudyConfig struct {
 	// accumulator whose counts tolerate the tap's at-least-once delivery;
 	// see its doc. Ignored when no collector is run on the caller's behalf.
 	Monitor *stream.Monitor
+	// LiveStudy, when set on the RunFieldStudyWithCollector path, is wired
+	// to the same live record tap and additionally serves the collection
+	// server's QUERY verb (current MTBF, decaying panic leaderboard,
+	// windowed freeze rate) while the study runs. LiveStudy deduplicates
+	// the tap's at-least-once delivery itself; see stream.LiveStudy. The
+	// fleet path does not serve queries (each shard sees only its devices).
+	LiveStudy *stream.LiveStudy
 
 	// healTransport, set internally by the sharded fleet path, rides
 	// uploads on collect.RetryNetTransport: fleet kill/handoff windows are
@@ -347,7 +354,7 @@ func collectFromDataset(ds *collect.Dataset, opts analysis.Options) (*stream.Col
 // acknowledged).
 func uploadFinal(addr, id string, data []byte) error {
 	var err error
-	for attempt := 0; attempt < 120; attempt++ {
+	for attempt := 0; attempt < 600; attempt++ {
 		if attempt > 0 {
 			// Host-time pause: the collector is a real TCP server
 			// restarting in host time, not simulated time. The pause never
@@ -362,7 +369,17 @@ func uploadFinal(addr, id string, data []byte) error {
 			_ = collect.Fin(addr, id)
 			return nil
 		}
-		if attempt >= 8 && !collect.IsBelowQuorum(err) {
+		if collect.IsBelowQuorum(err) {
+			continue // clears on the fleet's heartbeat cadence: full budget
+		}
+		// Fail fast on protocol rejections — a parsed ERR is a real answer.
+		// Transport-level windows (dead connection, unreachable shard) get
+		// a generous budget: on a loaded single-CPU host a restarting
+		// shard's WAL replay can easily outlive the first few capped pauses.
+		if attempt >= 8 && !collect.IsTransient(err) {
+			break
+		}
+		if attempt >= 120 {
 			break
 		}
 	}
@@ -399,6 +416,18 @@ func RunFieldStudyWithCollector(cfg FieldStudyConfig) (*FieldStudy, *collect.Sup
 	}
 	if cfg.Monitor != nil {
 		scfg.OnRecord = cfg.Monitor.Observe
+	}
+	if cfg.LiveStudy != nil {
+		live := cfg.LiveStudy
+		scfg.Query = live.Query
+		if mon := scfg.OnRecord; mon != nil {
+			scfg.OnRecord = func(id string, r core.Record) {
+				mon(id, r)
+				live.Observe(id, r)
+			}
+		} else {
+			scfg.OnRecord = live.Observe
+		}
 	}
 	sup, err := collect.NewSupervisor("127.0.0.1:0", ds, scfg)
 	if err != nil {
